@@ -1,0 +1,56 @@
+"""Microbenchmarks of the simulation engine itself.
+
+Not a paper figure — these track the cost of the substrate so the
+figure benchmarks stay interpretable: event throughput of the DES
+kernel and end-to-end latency of a small simulated job.
+"""
+
+from repro.simulation import Simulator
+from tests.conftest import make_context
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        for index in range(10_000):
+            sim.timeout(float(index % 100))
+        sim.run()
+        return sim.processed_events
+
+    processed = benchmark(run_events)
+    assert processed >= 10_000
+
+
+def test_kernel_process_switching(benchmark):
+    def run_processes():
+        sim = Simulator()
+
+        def ping(sim):
+            for _ in range(100):
+                yield sim.timeout(1.0)
+
+        for _ in range(100):
+            sim.spawn(ping(sim))
+        sim.run()
+        return sim.now
+
+    final = benchmark(run_processes)
+    assert final == 100.0
+
+
+def test_small_job_end_to_end(benchmark):
+    def run_job():
+        context = make_context(push=True)
+        context.write_input_file(
+            "/in", [[("k%d" % i, 1) for i in range(20)] for _ in range(4)]
+        )
+        result = (
+            context.text_file("/in")
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        context.shutdown()
+        return result
+
+    result = benchmark(run_job)
+    assert len(result) == 20

@@ -1,0 +1,59 @@
+"""Eq. (1)/(2) — the analytical model as a microbenchmark.
+
+Checks that the engine's aggregation decision agrees with the §III-B
+model on random shuffle-input distributions, and benchmarks the
+progressive-filling fair-share solver that every transfer goes through.
+"""
+
+import random
+
+from benchmarks.matrix_cache import emit
+from repro.core.analysis import (
+    cross_dc_traffic_lower_bound,
+    optimal_reducer_datacenter,
+    total_fetch_volume,
+)
+from repro.network.fair_share import max_min_fair_rates
+
+
+def _random_sizes(rng, num_dcs):
+    return {f"dc{i}": rng.uniform(0, 1000.0) for i in range(num_dcs)}
+
+
+def test_eq2_bound_matches_optimal_placement(benchmark):
+    rng = random.Random(0)
+
+    def check_many():
+        worst_gap = 0.0
+        for _ in range(500):
+            sizes = _random_sizes(rng, rng.randint(1, 6))
+            best = optimal_reducer_datacenter(sizes)
+            achieved = total_fetch_volume(sizes, [best] * 8)
+            bound = cross_dc_traffic_lower_bound(sizes)
+            worst_gap = max(worst_gap, abs(achieved - bound))
+        return worst_gap
+
+    worst_gap = benchmark(check_many)
+    emit(
+        "eq_model.txt",
+        [
+            "Eq. (1)/(2) — optimal aggregation achieves the S - s1 bound",
+            f"worst |achieved - bound| over 500 random instances: "
+            f"{worst_gap:.3e} bytes",
+        ],
+    )
+    assert worst_gap < 1e-6
+
+
+def test_fair_share_solver_throughput(benchmark):
+    """Progressive filling over a realistic flow population."""
+    rng = random.Random(1)
+    links = {f"l{i}": rng.uniform(1e6, 1e9) for i in range(60)}
+    link_names = sorted(links)
+    flows = {
+        f"f{i}": rng.sample(link_names, rng.randint(2, 5))
+        for i in range(200)
+    }
+
+    rates = benchmark(lambda: max_min_fair_rates(flows, links))
+    assert len(rates) == 200

@@ -1,0 +1,53 @@
+"""Extension bench — AggShuffle vs an Iridium-style baseline.
+
+The paper argues Push/Aggregate is orthogonal to input/task placement
+systems such as Iridium (§VI).  This bench runs the Iridium-like
+input-redistribution scheme next to the paper's three systems on the
+PageRank workload (where the contrast is sharpest): redistribution
+balances *input*, but every subsequent shuffle still crosses
+datacenters, while aggregation collapses them into one.
+"""
+
+import os
+
+from benchmarks.matrix_cache import emit
+from repro.experiments.runner import ExperimentPlan, run_workload_once
+from repro.experiments.schemes import Scheme
+from repro.metrics.stats import summarize
+from repro.workloads import PageRank
+
+
+def test_iridium_vs_aggshuffle_on_pagerank(benchmark):
+    seeds = range(max(1, int(os.environ.get("REPRO_SEEDS", "10")) // 2))
+    plan = ExperimentPlan(seeds=tuple(seeds))
+    schemes = (
+        Scheme.SPARK, Scheme.IRIDIUM, Scheme.CENTRALIZED, Scheme.AGGSHUFFLE
+    )
+
+    def run_all():
+        rows = {}
+        for scheme in schemes:
+            runs = [
+                run_workload_once(PageRank(), scheme, seed, plan)
+                for seed in seeds
+            ]
+            rows[scheme.value] = (
+                summarize([r.duration for r in runs]),
+                sum(r.cross_dc_megabytes for r in runs) / len(runs),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        "Extension — PageRank under four schemes",
+        f"{'scheme':<14}{'JCT (s)':>10}{'cross-DC MB':>14}",
+    ]
+    for scheme, (stats, traffic) in rows.items():
+        lines.append(f"{scheme:<14}{stats.trimmed:>10.1f}{traffic:>14.1f}")
+    emit("ext_baselines.txt", lines)
+
+    # Aggregation beats input redistribution on iterative traffic: the
+    # redistributed input still shuffles across DCs every iteration.
+    assert rows["AggShuffle"][1] < rows["IridiumLike"][1]
+    # And on completion time.
+    assert rows["AggShuffle"][0].trimmed < rows["IridiumLike"][0].trimmed

@@ -1,0 +1,48 @@
+"""Extension bench — the dollar cost of wide-area shuffles.
+
+The paper's opening motivation includes "the time and bandwidth *cost*
+for moving data across datacenters".  Cloud providers bill inter-region
+egress per gigabyte; this bench prices each scheme's traffic with
+EC2-style rates (repro.metrics.billing), turning Fig. 8 into dollars.
+"""
+
+from collections import defaultdict
+
+from benchmarks.matrix_cache import emit, get_matrix
+from repro.experiments.schemes import Scheme
+
+_SCHEMES = ("Spark", "Centralized", "AggShuffle")
+
+
+def test_traffic_cost_in_dollars(benchmark):
+    def aggregate():
+        sums = defaultdict(float)
+        counts = defaultdict(int)
+        for run in get_matrix():
+            key = (run.workload, run.scheme.value)
+            sums[key] += run.cost_dollars
+            counts[key] += 1
+        return {key: sums[key] / counts[key] for key in sums}
+
+    costs = benchmark.pedantic(aggregate, rounds=1, iterations=1)
+    workloads = sorted({workload for workload, _s in costs})
+    lines = [
+        "Extension — mean inter-datacenter egress cost per run ($)",
+        f"{'workload':<12}" + "".join(f"{s:>14}" for s in _SCHEMES),
+    ]
+    total = defaultdict(float)
+    for workload in workloads:
+        row = [costs.get((workload, scheme), 0.0) for scheme in _SCHEMES]
+        for scheme, value in zip(_SCHEMES, row):
+            total[scheme] += value
+        lines.append(
+            f"{workload:<12}" + "".join(f"{value:14.4f}" for value in row)
+        )
+    lines.append(
+        f"{'TOTAL':<12}"
+        + "".join(f"{total[scheme]:14.4f}" for scheme in _SCHEMES)
+    )
+    emit("ext_billing.txt", lines)
+
+    # Push/Aggregate saves real money on the workload suite.
+    assert total["AggShuffle"] < total["Spark"]

@@ -1,0 +1,74 @@
+"""Extension bench — sensitivity to WAN bandwidth jitter.
+
+§I claims: "with our implementation, the impact of bandwidth and delay
+jitters in wide-area networks is minimized, resulting in a lower degree
+of performance variations over time."
+
+This bench sweeps the jitter band of the inter-region links and
+compares the JCT spread (IQR) of Spark vs AggShuffle on PageRank, the
+workload whose many WAN round-trips compound jitter in the baseline.
+"""
+
+import dataclasses
+import os
+
+from benchmarks.matrix_cache import emit
+from repro.config import SimulationConfig
+from repro.experiments.runner import ExperimentPlan, run_workload_once
+from repro.experiments.schemes import Scheme
+from repro.metrics.stats import summarize
+from repro.network.jitter import JitterSpec
+from repro.network.topology import MBPS
+from repro.workloads import PageRank
+
+_BANDS = (
+    ("stable 200 Mbps", None),
+    ("160-240 Mbps", JitterSpec(low=160 * MBPS, high=240 * MBPS)),
+    ("80-300 Mbps", JitterSpec(low=80 * MBPS, high=300 * MBPS)),
+    ("40-360 Mbps", JitterSpec(low=40 * MBPS, high=360 * MBPS)),
+)
+
+
+def _spread(scheme: Scheme, jitter, seeds) -> tuple:
+    base = dataclasses.replace(SimulationConfig(), jitter=jitter)
+    plan = ExperimentPlan(seeds=tuple(seeds), base_config=base)
+    durations = [
+        run_workload_once(PageRank(), scheme, seed, plan).duration
+        for seed in seeds
+    ]
+    stats = summarize(durations)
+    return stats.trimmed, stats.iqr_width
+
+
+def test_jitter_sensitivity(benchmark):
+    seeds = range(max(2, int(os.environ.get("REPRO_SEEDS", "10")) // 2))
+
+    def sweep():
+        rows = []
+        for label, jitter in _BANDS:
+            spark_jct, spark_iqr = _spread(Scheme.SPARK, jitter, seeds)
+            agg_jct, agg_iqr = _spread(Scheme.AGGSHUFFLE, jitter, seeds)
+            rows.append((label, spark_jct, spark_iqr, agg_jct, agg_iqr))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Extension — PageRank JCT vs WAN jitter band",
+        f"{'band':<18}{'Spark JCT':>10}{'Spark IQR':>10}"
+        f"{'Agg JCT':>10}{'Agg IQR':>10}",
+    ]
+    for label, s_jct, s_iqr, a_jct, a_iqr in rows:
+        lines.append(
+            f"{label:<18}{s_jct:>10.1f}{s_iqr:>10.1f}"
+            f"{a_jct:>10.1f}{a_iqr:>10.1f}"
+        )
+    emit("ext_jitter.txt", lines)
+
+    # Under the widest band the baseline's spread clearly exceeds
+    # AggShuffle's (with the fixed-dataset methodology, narrow bands
+    # leave both schemes essentially deterministic).
+    widest = rows[-1]
+    assert widest[4] < widest[2], "AggShuffle should be steadier"
+    # And AggShuffle is faster under every band.
+    for _label, spark_jct, _si, agg_jct, _ai in rows:
+        assert agg_jct < spark_jct

@@ -1,0 +1,36 @@
+"""Fig. 1 — the motivating pipelining timeline.
+
+Two mappers finish at t=4 and t=8; the WAN link has 1/4 the capacity of
+a datacenter link.  Fetch-based shuffle starts both transfers when the
+next stage begins (t=10), they share the link and finish at t=18.
+Push-based shuffle starts each transfer at its mapper's completion; the
+reducers start at t=14 — four time units earlier.
+"""
+
+from benchmarks.matrix_cache import emit
+from repro.experiments.motivation import fetch_timeline, push_timeline
+
+
+def _render(fetch, push) -> list:
+    return [
+        "Fig. 1 — shuffle-input transfer timing (abstract time units)",
+        f"{'':<18}{'fetch (a)':>12}{'push (b)':>12}",
+        f"{'transfer starts':<18}{str(fetch.transfer_starts):>12}"
+        f"{str(push.transfer_starts):>12}",
+        f"{'transfer ends':<18}{str([round(t,1) for t in fetch.transfer_ends]):>12}"
+        f"{str([round(t,1) for t in push.transfer_ends]):>12}",
+        f"{'reducers start':<18}{fetch.reduce_start:>12.1f}"
+        f"{push.reduce_start:>12.1f}",
+    ]
+
+
+def test_fig1_pipelining_timeline(benchmark):
+    fetch, push = benchmark.pedantic(
+        lambda: (fetch_timeline(), push_timeline()),
+        rounds=5,
+        iterations=1,
+    )
+    emit("fig1_pipelining.txt", _render(fetch, push))
+    # The paper's exact numbers.
+    assert fetch.reduce_start == 18.0
+    assert push.reduce_start == 14.0

@@ -1,0 +1,38 @@
+"""Fig. 2 — failure recovery under fetch vs. push.
+
+A reducer fails after its first attempt.  With fetch-based shuffle the
+retry re-fetches its input across the WAN; with Push/Aggregate the
+input already sits in the reducer's datacenter and recovery reads
+locally.
+"""
+
+from benchmarks.matrix_cache import emit
+from repro.experiments.motivation import (
+    fetch_failure_recovery,
+    push_failure_recovery,
+)
+
+
+def _render(fetch, push) -> list:
+    return [
+        "Fig. 2 — reducer-failure recovery (abstract time units)",
+        f"{'':<24}{'fetch (a)':>12}{'push (b)':>12}",
+        f"{'failure at':<24}{fetch.first_attempt_end:>12.1f}"
+        f"{push.first_attempt_end:>12.1f}",
+        f"{'recovery read time':<24}{fetch.recovery_read_seconds:>12.1f}"
+        f"{push.recovery_read_seconds:>12.1f}",
+        f"{'recovered at':<24}{fetch.recovered_at:>12.1f}"
+        f"{push.recovered_at:>12.1f}",
+    ]
+
+
+def test_fig2_failure_recovery(benchmark):
+    fetch, push = benchmark.pedantic(
+        lambda: (fetch_failure_recovery(), push_failure_recovery()),
+        rounds=5,
+        iterations=1,
+    )
+    emit("fig2_failure.txt", _render(fetch, push))
+    assert fetch.recovery_read_seconds == 4.0  # WAN re-fetch
+    assert push.recovery_read_seconds < 1.0    # local re-read
+    assert push.recovered_at < fetch.recovered_at

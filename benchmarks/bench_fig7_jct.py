@@ -1,0 +1,52 @@
+"""Fig. 7 — average job completion time per workload and scheme.
+
+Regenerates the paper's Fig. 7: for each of the five HiBench workloads
+and each of {Spark, Centralized, AggShuffle}, the 10 %-trimmed mean job
+completion time over the seed repetitions, with the median and
+interquartile range the paper draws as error bars.
+
+Expected shape (the paper's findings):
+* AggShuffle has the lowest completion time for every workload
+  (14-73 % below Spark in the paper);
+* AggShuffle's interquartile range is the narrowest (stability);
+* Centralized pays a large early cost for big-input workloads.
+"""
+
+from benchmarks.matrix_cache import emit, get_matrix
+from repro.experiments.figures import fig7_job_completion_times
+
+_SCHEMES = ("Spark", "Centralized", "AggShuffle")
+
+
+def _render(figure) -> list:
+    lines = [
+        "Fig. 7 — job completion time (seconds), trimmed mean "
+        "[median, q25-q75]",
+        f"{'workload':<12}" + "".join(f"{s:>28}" for s in _SCHEMES),
+    ]
+    for workload in ("WordCount", "Sort", "TeraSort", "PageRank", "NaiveBayes"):
+        if workload not in figure:
+            continue
+        cells = []
+        for scheme in _SCHEMES:
+            stats = figure[workload][scheme]
+            cells.append(
+                f"{stats.trimmed:9.1f} [{stats.median:7.1f},"
+                f" {stats.q25:6.1f}-{stats.q75:6.1f}]"
+            )
+        lines.append(f"{workload:<12}" + "".join(f"{c:>28}" for c in cells))
+    return lines
+
+
+def test_fig7_job_completion_time(benchmark):
+    figure = benchmark.pedantic(
+        lambda: fig7_job_completion_times(get_matrix()),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig7_jct.txt", _render(figure))
+    # Shape assertions: AggShuffle beats Spark on every workload.
+    for workload, by_scheme in figure.items():
+        assert (
+            by_scheme["AggShuffle"].trimmed < by_scheme["Spark"].trimmed
+        ), f"{workload}: AggShuffle should finish first"

@@ -1,0 +1,54 @@
+"""Fig. 9 — stage execution-time breakdown per workload and scheme.
+
+Regenerates the paper's Fig. 9: for every workload and scheme, the
+per-stage completion-time summary (trimmed mean with IQR), stages in
+submission order.  For the Centralized scheme the first "stage" is the
+input-centralisation phase.
+
+Expected shape:
+* Centralized is slow in early stages (collecting raw data) and fast in
+  late stages;
+* AggShuffle finishes both early and late stages quickly, with low
+  variance in the late (datacenter-local) stages.
+"""
+
+from benchmarks.matrix_cache import emit, get_matrix
+from repro.experiments.figures import fig9_stage_breakdown
+
+_SCHEMES = ("Spark", "Centralized", "AggShuffle")
+
+
+def _render(figure) -> list:
+    lines = ["Fig. 9 — stage durations (s), trimmed mean [q25-q75]"]
+    for workload in ("WordCount", "Sort", "TeraSort", "PageRank", "NaiveBayes"):
+        if workload not in figure:
+            continue
+        lines.append(f"\n{workload}")
+        for scheme in _SCHEMES:
+            stages = figure[workload].get(scheme, [])
+            cells = " | ".join(
+                f"s{i}: {s.trimmed:7.1f} [{s.q25:6.1f}-{s.q75:6.1f}]"
+                for i, s in enumerate(stages)
+            )
+            lines.append(f"  {scheme:<12} {cells}")
+    return lines
+
+
+def test_fig9_stage_breakdown(benchmark):
+    figure = benchmark.pedantic(
+        lambda: fig9_stage_breakdown(get_matrix()),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig9_stages.txt", _render(figure))
+
+    for workload, by_scheme in figure.items():
+        # Every scheme reports at least two stages per workload
+        # (Centralized adds its centralize phase on top).
+        for scheme, stages in by_scheme.items():
+            assert len(stages) >= 2, (workload, scheme)
+        # The Centralized early phase (centralize-input) is its longest
+        # or near-longest early stage for big-input workloads.
+        if workload in ("WordCount", "TeraSort"):
+            centralized = by_scheme["Centralized"]
+            assert centralized[0].trimmed > 0

@@ -1,0 +1,42 @@
+"""Compare the three systems of the paper's evaluation on one workload.
+
+Runs HiBench WordCount (3.2 GB of text, Table I) on the six-region EC2
+cluster of Fig. 6 under Spark, Centralized, and AggShuffle, printing per
+scheme the job completion time, the cross-datacenter traffic by cause,
+and the per-stage timeline — a miniature of Fig. 7/8/9 for one
+workload.
+
+Run:  python examples/geo_analytics_comparison.py [workload]
+      (workload: wordcount | sort | terasort | pagerank | naivebayes)
+"""
+
+import sys
+
+from repro.experiments import Scheme, run_workload_once
+from repro.experiments.runner import ExperimentPlan
+from repro.workloads import workload_by_name
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "wordcount"
+    plan = ExperimentPlan(seeds=(0,))
+    print(f"{name} on the Fig. 6 cluster (6 EC2 regions, 24 workers)")
+    print("=" * 64)
+    for scheme in Scheme:
+        result = run_workload_once(workload_by_name(name), scheme, 0, plan)
+        print(f"\n{scheme.value}")
+        print(f"  job completion time : {result.duration:8.1f} s")
+        print(f"  cross-DC traffic    : {result.cross_dc_megabytes:8.1f} MB")
+        for tag, megabytes in sorted(result.cross_dc_by_tag.items()):
+            print(f"    {tag:<12}: {megabytes:8.1f} MB")
+        print("  stages:")
+        for stage in result.stages:
+            bar = "#" * max(1, int(stage.duration / 2))
+            print(
+                f"    t={stage.started_at:7.1f}  {stage.duration:7.1f} s  "
+                f"{stage.kind:<17} {bar}"
+            )
+
+
+if __name__ == "__main__":
+    main()

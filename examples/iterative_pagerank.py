@@ -1,0 +1,46 @@
+"""Iterative analytics: why aggregation compounds over iterations.
+
+PageRank re-shuffles the (cached) link structure every iteration.  With
+fetch-based shuffle the cached links sit scattered across datacenters,
+so every iteration pays wide-area traffic again; with Push/Aggregate
+the first shuffle lands everything in one datacenter and the remaining
+iterations run locally — the paper reports a 91.3 % cross-datacenter
+traffic reduction for PageRank (§V-C).
+
+This example sweeps the iteration count and prints the traffic per
+scheme, showing the divergence grow with iterations.
+
+Run:  python examples/iterative_pagerank.py
+"""
+
+import dataclasses
+
+from repro.experiments import Scheme, run_workload_once
+from repro.experiments.runner import ExperimentPlan, clear_data_cache
+from repro.workloads import PAGERANK, PageRank
+
+
+def traffic_for(iterations: int, scheme: Scheme) -> float:
+    workload = PageRank(spec=PAGERANK, iterations=iterations)
+    plan = ExperimentPlan(seeds=(0,))
+    result = run_workload_once(workload, scheme, 0, plan)
+    return result.cross_dc_megabytes
+
+
+def main():
+    print("PageRank cross-datacenter traffic vs iteration count")
+    print(f"{'iterations':>10} {'Spark (MB)':>12} {'AggShuffle (MB)':>16} "
+          f"{'reduction':>10}")
+    for iterations in (1, 2, 3, 4):
+        clear_data_cache()
+        spark = traffic_for(iterations, Scheme.SPARK)
+        agg = traffic_for(iterations, Scheme.AGGSHUFFLE)
+        reduction = 100 * (spark - agg) / spark
+        print(f"{iterations:>10} {spark:>12.1f} {agg:>16.1f} "
+              f"{reduction:>9.1f}%")
+    print("\nAggShuffle pays the edge push once; Spark re-shuffles the")
+    print("scattered cached links every iteration.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro: reproduction of *Optimizing Shuffle in Wide-Area Data Analytics*
+(Liu, Wang, Li — ICDCS 2017).
+
+A from-scratch, simulation-backed reimplementation of the paper's
+Push/Aggregate shuffle for geo-distributed data analytics:
+
+* a discrete-event simulation kernel (:mod:`repro.simulation`),
+* a flow-level WAN model with max-min fair sharing and bandwidth jitter
+  (:mod:`repro.network`),
+* an HDFS-like distributed store (:mod:`repro.storage`),
+* a Spark-like RDD engine executing real data (:mod:`repro.rdd`),
+* DAG/task schedulers with locality-aware placement
+  (:mod:`repro.scheduler`),
+* the paper's contribution — ``transfer_to()``, aggregator selection,
+  and implicit embedding before shuffles (:mod:`repro.core`),
+* HiBench-style workloads, failure injection, metrics, and the full
+  experiment harness (:mod:`repro.workloads`, :mod:`repro.failures`,
+  :mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import ClusterContext, ec2_six_region_spec, agg_shuffle_config
+
+    context = ClusterContext(ec2_six_region_spec(), agg_shuffle_config())
+    context.write_input_file("words", [[("spark", 1), ("wan", 1)]] * 8)
+    pairs = context.text_file("words")
+    counts = pairs.reduce_by_key(lambda a, b: a + b).collect()
+"""
+
+from repro.config import (
+    CostModel,
+    FailureConfig,
+    SchedulingConfig,
+    ShuffleConfig,
+    SimulationConfig,
+    agg_shuffle_config,
+    fetch_config,
+)
+from repro.cluster.builder import (
+    ClusterSpec,
+    build_topology,
+    ec2_six_region_spec,
+    two_datacenter_spec,
+)
+from repro.cluster import Broadcast, ClusterContext, JobHandle
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "FailureConfig",
+    "SchedulingConfig",
+    "ShuffleConfig",
+    "SimulationConfig",
+    "fetch_config",
+    "agg_shuffle_config",
+    "ClusterSpec",
+    "build_topology",
+    "ec2_six_region_spec",
+    "two_datacenter_spec",
+    "ClusterContext",
+    "JobHandle",
+    "Broadcast",
+    "ReproError",
+    "__version__",
+]

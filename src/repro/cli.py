@@ -1,0 +1,202 @@
+"""Command-line interface: run experiments without writing code.
+
+Usage::
+
+    python -m repro run <workload> [--scheme SCHEME] [--seed N]
+    python -m repro compare <workload> [--seeds N]
+    python -m repro fig7 | fig8 | headline [--seeds N]
+    python -m repro lineage <workload> [--scheme SCHEME]
+
+Workloads: wordcount, sort, terasort, pagerank, naivebayes.
+Schemes: spark, centralized, aggshuffle, iridiumlike.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import (
+    fig7_job_completion_times,
+    fig8_cross_dc_traffic,
+    headline_numbers,
+)
+from repro.experiments.runner import ExperimentPlan, run_matrix, run_workload_once
+from repro.experiments.schemes import PAPER_SCHEMES, Scheme
+from repro.metrics.reporting import format_table
+from repro.workloads import all_workloads, workload_by_name
+
+
+def _scheme(name: str) -> Scheme:
+    for scheme in Scheme:
+        if scheme.value.lower() == name.lower():
+            return scheme
+    choices = ", ".join(s.value.lower() for s in Scheme)
+    raise SystemExit(f"unknown scheme {name!r} (choose from: {choices})")
+
+
+def _plan(seeds: int) -> ExperimentPlan:
+    return ExperimentPlan(seeds=tuple(range(seeds)))
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    scheme = _scheme(args.scheme)
+    result = run_workload_once(
+        workload, scheme, args.seed, _plan(1)
+    )
+    print(f"{workload.name} / {scheme.value} (seed {args.seed})")
+    print(f"  completion time : {result.duration:9.1f} s")
+    print(f"  cross-DC traffic: {result.cross_dc_megabytes:9.1f} MB")
+    for tag, megabytes in sorted(result.cross_dc_by_tag.items()):
+        print(f"    {tag:<12}: {megabytes:9.1f} MB")
+    print("  stages:")
+    for stage in result.stages:
+        print(
+            f"    t={stage.started_at:8.1f}  {stage.duration:8.1f} s  "
+            f"{stage.kind}"
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    plan = _plan(args.seeds)
+    rows = []
+    for scheme in PAPER_SCHEMES:
+        runs = [
+            run_workload_once(workload, scheme, seed, plan)
+            for seed in plan.seeds
+        ]
+        jct = sum(r.duration for r in runs) / len(runs)
+        traffic = sum(r.cross_dc_megabytes for r in runs) / len(runs)
+        rows.append([scheme.value, f"{jct:.1f}", f"{traffic:.1f}"])
+    print(format_table(["scheme", "JCT (s)", "cross-DC MB"], rows))
+    return 0
+
+
+def cmd_fig7(args: argparse.Namespace) -> int:
+    results = run_matrix(all_workloads(), list(PAPER_SCHEMES), _plan(args.seeds))
+    figure = fig7_job_completion_times(results)
+    rows = []
+    for workload, by_scheme in figure.items():
+        row = [workload]
+        for scheme in PAPER_SCHEMES:
+            stats = by_scheme[scheme.value]
+            row.append(f"{stats.trimmed:.1f}")
+        rows.append(row)
+    headers = ["workload"] + [s.value for s in PAPER_SCHEMES]
+    print("Fig. 7 — trimmed-mean JCT (s)")
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_fig8(args: argparse.Namespace) -> int:
+    results = run_matrix(all_workloads(), list(PAPER_SCHEMES), _plan(args.seeds))
+    figure = fig8_cross_dc_traffic(results)
+    headers = ["workload"] + [s.value for s in PAPER_SCHEMES]
+    rows = [
+        [workload] + [f"{by_scheme.get(s.value, 0):.1f}" for s in PAPER_SCHEMES]
+        for workload, by_scheme in figure.items()
+    ]
+    print("Fig. 8 — cross-DC traffic (MB)")
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_headline(args: argparse.Namespace) -> int:
+    results = run_matrix(all_workloads(), list(PAPER_SCHEMES), _plan(args.seeds))
+    headline = headline_numbers(results)
+    rows = [
+        [
+            workload,
+            f"{entry['jct_reduction_pct']:.1f}",
+            f"{entry.get('traffic_reduction_pct', float('nan')):.1f}",
+        ]
+        for workload, entry in headline.items()
+    ]
+    print(format_table(
+        ["workload", "JCT reduction %", "traffic reduction %"], rows
+    ))
+    return 0
+
+
+def cmd_lineage(args: argparse.Namespace) -> int:
+    from repro.core.transfer_injection import insert_transfers
+    from repro.experiments.placement import skewed_block_placement
+    from repro.experiments.runner import generated_input
+    from repro.experiments.schemes import config_for_scheme
+    from repro.cluster.context import ClusterContext
+    from repro.metrics.reporting import lineage_dump
+    from repro.simulation import RandomSource
+
+    workload = workload_by_name(args.workload)
+    scheme = _scheme(args.scheme)
+    plan = _plan(1)
+    config = config_for_scheme(scheme, workload.spec, 0)
+    context = ClusterContext(plan.cluster, config)
+    partitions = generated_input(workload, 0)
+    placement = skewed_block_placement(
+        plan.cluster,
+        RandomSource(0).child(f"placement:{workload.name}"),
+        len(partitions),
+    )
+    workload.install(context, partitions, placement_hosts=placement)
+    rdd = workload.build(context)
+    if config.shuffle.auto_aggregate:
+        rdd = insert_transfers(rdd)
+    print(lineage_dump(rdd))
+    context.shutdown()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Optimizing Shuffle in Wide-Area Data "
+            "Analytics' (ICDCS 2017)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("run", help="run one workload/scheme cell")
+    run.add_argument("workload")
+    run.add_argument("--scheme", default="aggshuffle")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=cmd_run)
+
+    compare = commands.add_parser(
+        "compare", help="compare the three schemes on one workload"
+    )
+    compare.add_argument("workload")
+    compare.add_argument("--seeds", type=int, default=3)
+    compare.set_defaults(func=cmd_compare)
+
+    for name, func, help_text in (
+        ("fig7", cmd_fig7, "regenerate Fig. 7 (job completion times)"),
+        ("fig8", cmd_fig8, "regenerate Fig. 8 (cross-DC traffic)"),
+        ("headline", cmd_headline, "the paper's headline reductions"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("--seeds", type=int, default=10)
+        sub.set_defaults(func=func)
+
+    lineage = commands.add_parser(
+        "lineage", help="dump a workload's RDD lineage DAG"
+    )
+    lineage.add_argument("workload")
+    lineage.add_argument("--scheme", default="aggshuffle")
+    lineage.set_defaults(func=cmd_lineage)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Cluster assembly: the user-facing entry point.
+
+:class:`~repro.cluster.context.ClusterContext` plays the role of a
+``SparkContext``: it owns the simulator, network fabric, DFS, executors,
+schedulers, trackers, and metrics for one simulated cluster, and exposes
+``text_file`` / ``parallelize`` / job-running methods.
+
+:mod:`repro.cluster.builder` provides topology construction helpers,
+including the paper's six-region EC2 deployment (Fig. 6).
+"""
+
+from repro.cluster.builder import ClusterSpec, build_topology, ec2_six_region_spec
+from repro.cluster.context import ClusterContext, JobHandle
+from repro.cluster.broadcast import Broadcast, install_broadcast_support
+
+# Broadcast variables (context.broadcast / rdd.map_with_broadcast).
+install_broadcast_support()
+
+__all__ = [
+    "ClusterSpec",
+    "build_topology",
+    "ec2_six_region_spec",
+    "ClusterContext",
+    "JobHandle",
+    "Broadcast",
+]

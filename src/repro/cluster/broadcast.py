@@ -1,0 +1,149 @@
+"""Broadcast variables: driver-published read-only data.
+
+Spark's broadcast mechanism ships a value from the driver to every
+executor that needs it, caching it per host so repeated tasks pay
+nothing.  Iterative ML workloads (e.g. k-means centroids) re-broadcast
+a small model every iteration — across datacenters this costs one WAN
+transfer per *datacenter*, not per task, because our implementation
+fetches from the nearest holder (driver first, then any same-DC host
+that already has the value), mirroring Spark's BitTorrent-ish transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.context import ClusterContext
+    from repro.scheduler.task_runtime import TaskRuntime
+
+_broadcast_ids = itertools.count()
+
+
+class Broadcast:
+    """A read-only value published by the driver.
+
+    Tasks access it through :meth:`TaskRuntime-aware fetch
+    <repro.cluster.broadcast.Broadcast.fetch>`; plain ``.value`` reads
+    are allowed anywhere but charge no simulated time (driver-side use).
+    """
+
+    def __init__(self, context: "ClusterContext", value: Any) -> None:
+        self.broadcast_id = next(_broadcast_ids)
+        self.context = context
+        self._value = value
+        self.size_bytes = context.estimator.estimate([value])
+        # Hosts that already hold the value (the driver always does).
+        self._holders: List[str] = [context.driver_host]
+        # host -> completion event of an in-progress fetch, so
+        # concurrent tasks on one host share a single transfer (Spark
+        # serialises this with a per-executor lock).
+        self._in_flight: Dict[str, Any] = {}
+        self.fetch_count = 0
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def holders(self) -> List[str]:
+        return list(self._holders)
+
+    def fetch(self, runtime: "TaskRuntime"):
+        """Task-side access: charge the transfer on first use per host.
+
+        A generator (like all runtime operations).  Fetches from a
+        same-datacenter holder when one exists, otherwise from the
+        nearest holder (the driver, typically), then registers this host
+        as a holder.
+        """
+        self.fetch_count += 1
+        host = runtime.host
+        if host in self._holders:
+            return self._value
+        pending = self._in_flight.get(host)
+        if pending is not None:
+            yield pending  # another task on this host is fetching
+            return self._value
+        arrival = self.context.sim.event(name=f"broadcast:{host}")
+        self._in_flight[host] = arrival
+        topology = self.context.topology
+        my_dc = topology.datacenter_of(host)
+        same_dc = [
+            holder for holder in self._holders
+            if topology.datacenter_of(holder) == my_dc
+        ]
+        source = same_dc[0] if same_dc else self._holders[0]
+        if self.size_bytes > 0:
+            yield self.context.fabric.transfer(
+                source, host, self.size_bytes, tag="broadcast"
+            )
+        self._holders.append(host)
+        del self._in_flight[host]
+        arrival.succeed(None)
+        return self._value
+
+    def destroy(self) -> None:
+        """Release executor-side copies (driver keeps the value)."""
+        self._holders = [self.context.driver_host]
+
+
+class BroadcastMappedRDD:
+    """Deferred import shim; the real class is created in install()."""
+
+
+def install_broadcast_support() -> None:
+    """Attach ``broadcast`` to ClusterContext, ``read_broadcast`` to
+    TaskRuntime, and ``map_with_broadcast`` to RDD (idempotent)."""
+    from repro.cluster.context import ClusterContext
+    from repro.rdd.dependencies import NarrowDependency
+    from repro.rdd.rdd import RDD
+    from repro.scheduler.task_runtime import TaskRuntime
+
+    def broadcast(self: "ClusterContext", value: Any) -> Broadcast:
+        """Publish a read-only value from the driver."""
+        return Broadcast(self, value)
+
+    def read_broadcast(self: "TaskRuntime", broadcast_variable: Broadcast):
+        result = yield from broadcast_variable.fetch(self)
+        return result
+
+    class _BroadcastMapped(RDD):
+        """map over (record, broadcast value); the fetch is charged once
+        per host, inside the task."""
+
+        def __init__(self, parent: RDD, func, broadcast_variable) -> None:
+            super().__init__(
+                parent.context, [NarrowDependency(parent)],
+                name="mapWithBroadcast",
+            )
+            self._parent = parent
+            self._func = func
+            self._broadcast = broadcast_variable
+
+        @property
+        def num_partitions(self) -> int:
+            return self._parent.num_partitions
+
+        def compute(self, index: int, runtime):
+            records = yield from runtime.materialize(self._parent, index)
+            value = yield from runtime.read_broadcast(self._broadcast)
+            yield from runtime.charge_operator(self, records)
+            return [self._func(record, value) for record in records]
+
+        def preferred_locations(self, index: int):
+            return self._parent.preferred_locations(index)
+
+    def map_with_broadcast(self: RDD, func, broadcast_variable) -> RDD:
+        """Apply ``func(record, broadcast.value)`` to every record.
+
+        The broadcast value is fetched (and charged) once per host the
+        stage touches, then served from the host-local copy.
+        """
+        return _BroadcastMapped(self, func, broadcast_variable)
+
+    ClusterContext.broadcast = broadcast
+    TaskRuntime.read_broadcast = read_broadcast
+    RDD.map_with_broadcast = map_with_broadcast
+    global BroadcastMappedRDD
+    BroadcastMappedRDD = _BroadcastMapped

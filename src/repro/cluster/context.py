@@ -1,0 +1,284 @@
+"""ClusterContext: the SparkContext of the simulated cluster.
+
+Owns every runtime component for one simulated deployment and exposes the
+user API:
+
+* data ingestion — :meth:`write_input_file` + :meth:`text_file`, or
+  :meth:`parallelize`;
+* RDD actions are invoked *on RDDs* (``rdd.collect()``); they call back
+  into :meth:`run_collect` etc., which spawn the DAG scheduler on the
+  simulator and step it until the job finishes;
+* the simulated clock keeps running across jobs, so iterative workloads
+  and repeated measurements compose naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import SimulationConfig
+from repro.cluster.builder import ClusterSpec, build_topology
+from repro.errors import ConfigurationError
+from repro.failures.injector import FailureInjector
+from repro.metrics.collectors import MetricsCollector
+from repro.network.fabric import NetworkFabric
+from repro.network.jitter import BandwidthJitter, JitterSpec
+from repro.network.traffic_monitor import TrafficMonitor
+from repro.rdd.rdd import RDD, HadoopRDD, ParallelizedRDD
+from repro.rdd.size_estimator import SizeEstimator
+from repro.scheduler.cache import CacheManager
+from repro.scheduler.dag_scheduler import DAGScheduler
+from repro.scheduler.task_runner import TaskRunner
+from repro.scheduler.task_scheduler import Executor, TaskScheduler
+from repro.shuffle.map_output_tracker import MapOutputTracker
+from repro.shuffle.stores import ShuffleStore, TransferTracker
+from repro.simulation.kernel import Simulator
+from repro.simulation.random_source import RandomSource
+from repro.storage.hdfs import DistributedFileSystem
+
+
+class ClusterContext:
+    """A fully assembled simulated geo-distributed Spark cluster."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        config: Optional[SimulationConfig] = None,
+        straggler_model=None,
+    ) -> None:
+        self.spec = spec
+        self.config = config if config is not None else SimulationConfig()
+        self.config.validate()
+
+        self.sim = Simulator()
+        self.randomness = RandomSource(self.config.seed)
+        self.topology = build_topology(spec)
+        self.traffic = TrafficMonitor()
+        self.fabric = NetworkFabric(
+            self.sim,
+            self.topology,
+            monitor=self.traffic,
+            wan_flow_cap=spec.wan_flow_cap,
+        )
+        self.driver_host = spec.driver_host_name
+
+        worker_names = spec.worker_names()
+        self.dfs = DistributedFileSystem(
+            self.topology.all_host_names(), disk=self.config.disk
+        )
+        self.estimator = SizeEstimator(scale_factor=self.config.scale_factor)
+        self.cache = CacheManager()
+        self.map_output_tracker = MapOutputTracker()
+        self.shuffle_store = ShuffleStore()
+        self.transfer_tracker = TransferTracker()
+        self.metrics = MetricsCollector()
+        self.failure_injector = FailureInjector(
+            self.config.failures,
+            self.randomness.child("failures"),
+            straggler_model=straggler_model,
+        )
+
+        self.executors: Dict[str, Executor] = {
+            name: Executor(name, self.config.cores_per_host)
+            for name in worker_names
+        }
+        runner = TaskRunner(self)
+        self.task_scheduler = TaskScheduler(
+            self.sim,
+            self.topology,
+            self.executors,
+            self.config.scheduling,
+            run_task=runner.run,
+        )
+        # Receiver (transferTo) tasks are I/O-bound: they stream pushed
+        # map output, overlapping computation on the same workers (the
+        # paper's transfers begin while mappers are still producing,
+        # §IV-B).  They therefore run on a dedicated per-host transfer
+        # service rather than competing for compute slots.
+        self.transfer_executors: Dict[str, Executor] = {
+            name: Executor(name, self.config.cores_per_host)
+            for name in worker_names
+        }
+        self.transfer_scheduler = TaskScheduler(
+            self.sim,
+            self.topology,
+            self.transfer_executors,
+            self.config.scheduling,
+            run_task=runner.run,
+        )
+        self.dag_scheduler = DAGScheduler(self)
+
+        self._jitter: Optional[BandwidthJitter] = None
+        self._gateway_jitter: Optional[BandwidthJitter] = None
+        if self.config.jitter is not None:
+            self._jitter = BandwidthJitter(
+                self.sim,
+                self.fabric,
+                self.topology.wan_links(),
+                self.config.jitter,
+                randomness=self.randomness.child("jitter"),
+            )
+            self._jitter.start()
+            # Region gateways stay static: they model provisioned border
+            # capacity, while the measured EC2 fluctuation (80-300 Mbps)
+            # lives on the per-region-pair paths.  (A gateway jitter can
+            # be added via BandwidthJitter(require_wan_flag=False).)
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+    @property
+    def default_parallelism(self) -> int:
+        """One wave of cores in a single datacenter (paper §V-A sets
+        the max parallelism of map and reduce to 8 = one region's cores)."""
+        return self.spec.workers_per_datacenter * self.config.cores_per_host
+
+    @property
+    def total_cores(self) -> int:
+        return sum(executor.cores for executor in self.executors.values())
+
+    def workers_in(self, datacenter: str) -> List[str]:
+        return [
+            host
+            for host in self.topology.hosts_in(datacenter)
+            if host in self.executors
+        ]
+
+    # ------------------------------------------------------------------
+    # Data ingestion
+    # ------------------------------------------------------------------
+    def write_input_file(
+        self,
+        path: str,
+        partitions: Sequence[List[Any]],
+        placement_hosts: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Create a DFS file with one block per partition.
+
+        By default blocks round-robin across every worker in every
+        datacenter — raw data "generated at geographically distributed
+        datacenters".  Pass ``placement_hosts`` to skew or pin placement.
+        """
+        if placement_hosts is None:
+            placement_hosts = self.spec.worker_names()
+        sizes = [self.estimator.estimate(records) for records in partitions]
+        self.dfs.write_file(path, partitions, sizes, list(placement_hosts))
+
+    def text_file(self, path: str) -> HadoopRDD:
+        """An RDD over an existing DFS file, one partition per block."""
+        return HadoopRDD(self, path)
+
+    def parallelize(self, records: Sequence[Any], num_slices: int = 1) -> RDD:
+        """Distribute driver-local data as an RDD."""
+        return ParallelizedRDD(self, records, num_slices)
+
+    # ------------------------------------------------------------------
+    # Job execution (called by RDD actions)
+    # ------------------------------------------------------------------
+    def run_collect(self, rdd: RDD) -> List[Any]:
+        return self._run(rdd, "collect")
+
+    def run_count(self, rdd: RDD) -> int:
+        return self._run(rdd, "count")
+
+    def run_save(self, rdd: RDD, path: str) -> None:
+        if not path:
+            raise ConfigurationError("save path must be non-empty")
+        return self._run(rdd, "save", save_path=path)
+
+    def _run(self, rdd: RDD, action: str, save_path: Optional[str] = None):
+        job = self.dag_scheduler.run_job(rdd, action, save_path=save_path)
+        process = self.sim.spawn(job, name=f"job:{action}:{rdd.name}")
+        return self.sim.run_until_event(process)
+
+    # ------------------------------------------------------------------
+    # Concurrent jobs (§IV-E: clusters are shared by multiple jobs)
+    # ------------------------------------------------------------------
+    def submit_job(
+        self, rdd: RDD, action: str = "collect",
+        save_path: Optional[str] = None,
+    ) -> "JobHandle":
+        """Start a job without blocking; returns a :class:`JobHandle`.
+
+        Multiple submitted jobs share the cluster's executors, network,
+        and trackers, contending for slots exactly as concurrent Spark
+        jobs would.  Each job gets its own metrics collector.
+        """
+        metrics = MetricsCollector()
+        scheduler = DAGScheduler(self, metrics=metrics)
+        job = scheduler.run_job(rdd, action, save_path=save_path)
+        process = self.sim.spawn(job, name=f"job:{action}:{rdd.name}")
+        return JobHandle(self, process, metrics)
+
+    def wait_all(self, handles: Sequence["JobHandle"]) -> List[Any]:
+        """Run the simulation until every handle's job completes."""
+        return [handle.result() for handle in handles]
+
+    # ------------------------------------------------------------------
+    # Host failure (between jobs)
+    # ------------------------------------------------------------------
+    def fail_host(self, host: str) -> Dict[str, int]:
+        """Take a worker host down, losing everything it stored.
+
+        Removes the executor (and transfer-service slots), its shuffle
+        output (the owning shuffles become incomplete, so dependent
+        stages recompute exactly the missing partitions on the next
+        job), staged transfer partitions, cached RDD partitions, and
+        DFS replicas.  Call between jobs; returns a summary of what was
+        lost.  Input blocks whose last replica lived here are gone for
+        good — reading them raises, like HDFS with dead datanodes.
+        """
+        if host not in self.executors:
+            raise ConfigurationError(f"unknown worker host {host!r}")
+        del self.executors[host]
+        del self.transfer_executors[host]
+        lost_outputs = self.map_output_tracker.unregister_host(host)
+        self.shuffle_store.remove_host(host)
+        self.transfer_tracker.remove_host(host)
+        cached_before = self.cache.entry_count
+        self.cache.evict_host(host)
+        lost_blocks = self.dfs.namenode.remove_host_replicas(host)
+        for block_id in self.dfs.datanodes[host].block_ids():
+            self.dfs.datanodes[host].remove(block_id)
+        return {
+            "map_outputs_lost": lost_outputs,
+            "cached_partitions_lost": cached_before - self.cache.entry_count,
+            "blocks_without_replicas": len(lost_blocks),
+        }
+
+    @property
+    def live_workers(self) -> List[str]:
+        return list(self.executors)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop background processes (jitter); the context stays readable."""
+        if self._jitter is not None:
+            self._jitter.stop()
+        if self._gateway_jitter is not None:
+            self._gateway_jitter.stop()
+
+
+class JobHandle:
+    """A concurrently running job: await its result, inspect its metrics."""
+
+    def __init__(self, context: ClusterContext, process, metrics) -> None:
+        self.context = context
+        self.process = process
+        self.metrics = metrics
+
+    @property
+    def done(self) -> bool:
+        return self.process.triggered
+
+    def result(self) -> Any:
+        """Run the simulation until this job finishes; return its value."""
+        if not self.process.triggered:
+            self.context.sim.run_until_event(self.process)
+        return self.process.value
+
+    @property
+    def duration(self) -> float:
+        return self.metrics.job.duration

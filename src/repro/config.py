@@ -1,0 +1,166 @@
+"""Configuration objects shared across the whole stack.
+
+All tunables live here so experiments are declarative: a
+:class:`SimulationConfig` plus a topology fully determines a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.network.jitter import JitterSpec
+from repro.storage.disk import DiskModel
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Charges simulated CPU time for computation.
+
+    ``cpu_bytes_per_second`` is the per-core streaming rate over *logical*
+    bytes (the paper-scale volumes), so CPU time reflects paper-scale data
+    even though the record count is scaled down.  ``seconds_per_record``
+    adds a small per-record overhead so record-heavy operators are not
+    free.  ``sort_factor`` multiplies the byte cost of sorting operators.
+    """
+
+    cpu_bytes_per_second: float = 40e6
+    seconds_per_record: float = 0.0
+    sort_factor: float = 1.2
+    # In-memory combining / merging is much cheaper per byte than the
+    # workload's primary record processing (hash-map updates vs. parsing).
+    combine_factor: float = 0.3
+    # Partitioning records into shuffle shards is a single cheap pass.
+    shuffle_write_factor: float = 0.2
+    task_launch_overhead: float = 0.05
+
+    def compute_time(self, logical_bytes: float, records: int = 0) -> float:
+        if logical_bytes < 0 or records < 0:
+            raise ValueError("negative computation volume")
+        return (
+            logical_bytes / self.cpu_bytes_per_second
+            + records * self.seconds_per_record
+        )
+
+    def sort_time(self, logical_bytes: float, records: int = 0) -> float:
+        return self.sort_factor * self.compute_time(logical_bytes, records)
+
+    def combine_time(self, logical_bytes: float, records: int = 0) -> float:
+        return self.combine_factor * self.compute_time(logical_bytes, records)
+
+    def shuffle_write_time(self, logical_bytes: float) -> float:
+        return self.shuffle_write_factor * self.compute_time(logical_bytes)
+
+
+@dataclass(frozen=True)
+class SchedulingConfig:
+    """Locality/delay-scheduling behaviour of the task scheduler."""
+
+    # How long a task waits for a preferred-host slot before settling for
+    # a same-datacenter slot, and then for any slot (Spark's
+    # ``spark.locality.wait`` is 3 s by default).
+    locality_wait_host: float = 2.0
+    locality_wait_datacenter: float = 45.0
+    # A reducer only *prefers* hosts that store at least this fraction of
+    # its shuffle input (Spark 1.6's REDUCER_PREF_LOCS_FRACTION = 0.2).
+    reducer_pref_fraction: float = 0.2
+    # Receiver (transferTo) tasks wait this long for a slot in the
+    # aggregator datacenter before falling back to any host; effectively
+    # they queue there, since pushing elsewhere defeats aggregation.
+    receiver_datacenter_wait: float = 600.0
+    max_task_attempts: int = 4
+    # Speculative execution (Spark's spark.speculation): once
+    # ``speculation_quantile`` of a stage's tasks have finished, any
+    # remaining task running longer than ``speculation_multiplier`` x
+    # the median completed duration gets a duplicate launched anywhere;
+    # the first finisher wins.
+    speculation: bool = False
+    speculation_multiplier: float = 2.0
+    speculation_quantile: float = 0.75
+    speculation_interval: float = 5.0
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Task failure injection (paper Fig. 2 / §III-A)."""
+
+    reducer_failure_probability: float = 0.0
+    # Fraction of the attempt's work completed before the failure hits.
+    wasted_work_fraction: float = 0.5
+    max_injected_failures_per_task: int = 2
+
+
+@dataclass(frozen=True)
+class ShuffleConfig:
+    """Which shuffle mechanism the engine uses.
+
+    ``push_based`` False gives Spark's default fetch-based shuffle;
+    True gives the paper's Push/Aggregate.  ``auto_aggregate`` mirrors the
+    ``spark.shuffle.aggregation`` property: when True the DAG scheduler
+    implicitly embeds ``transfer_to()`` before every shuffle.
+    """
+
+    push_based: bool = False
+    auto_aggregate: bool = False
+    # Number of datacenters shuffle input is aggregated into (§III-B uses
+    # a single datacenter "as an example"; >1 is our ablation extension).
+    aggregation_subset_size: int = 1
+
+    def validate(self) -> None:
+        if self.auto_aggregate and not self.push_based:
+            raise ConfigurationError(
+                "auto_aggregate requires push_based shuffle"
+            )
+        if self.aggregation_subset_size < 1:
+            raise ConfigurationError("aggregation_subset_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that parameterises one simulated job run."""
+
+    seed: int = 0
+    cores_per_host: int = 2
+    cost: CostModel = field(default_factory=CostModel)
+    disk: DiskModel = field(default_factory=DiskModel)
+    scheduling: SchedulingConfig = field(default_factory=SchedulingConfig)
+    failures: FailureConfig = field(default_factory=FailureConfig)
+    shuffle: ShuffleConfig = field(default_factory=ShuffleConfig)
+    jitter: Optional[JitterSpec] = field(default_factory=JitterSpec)
+    # Multiplier from natural record sizes to logical bytes.  The
+    # bundled workloads attach explicit paper-scale sizes to their
+    # records (via SizedRecord), so the default is 1.0; raise it to make
+    # plain-record datasets stand for proportionally larger volumes.
+    scale_factor: float = 1.0
+
+    def validate(self) -> None:
+        if self.cores_per_host < 1:
+            raise ConfigurationError("cores_per_host must be >= 1")
+        if self.scale_factor <= 0:
+            raise ConfigurationError("scale_factor must be positive")
+        self.shuffle.validate()
+        if self.jitter is not None:
+            self.jitter.validate()
+
+    def with_shuffle(self, shuffle: ShuffleConfig) -> "SimulationConfig":
+        return replace(self, shuffle=shuffle)
+
+    def with_seed(self, seed: int) -> "SimulationConfig":
+        return replace(self, seed=seed)
+
+
+def fetch_config(**overrides) -> SimulationConfig:
+    """Baseline Spark configuration (fetch-based shuffle)."""
+    return SimulationConfig(
+        shuffle=ShuffleConfig(push_based=False, auto_aggregate=False),
+        **overrides,
+    )
+
+
+def agg_shuffle_config(**overrides) -> SimulationConfig:
+    """The paper's AggShuffle configuration (implicit Push/Aggregate)."""
+    return SimulationConfig(
+        shuffle=ShuffleConfig(push_based=True, auto_aggregate=True),
+        **overrides,
+    )

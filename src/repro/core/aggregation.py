@@ -1,0 +1,103 @@
+"""Runtime selection of aggregator datacenters (paper §IV-D).
+
+The destination of an implicit (or destination-less explicit)
+``transfer_to`` is "the datacenter storing the largest amount of map
+input, which is a known piece of information ... at the beginning of the
+map task".  We therefore resolve destinations when the *producer* stage
+is submitted, from the distribution of that stage's input:
+
+* DFS blocks for input RDDs (first replica's datacenter),
+* registered map outputs for upstream shuffles (all parent shuffle
+  stages have completed by submission time),
+* cached partition locations for cached RDDs.
+
+``select_aggregator_datacenters`` also supports the k-subset extension
+(aggregate into the k largest holders instead of exactly one).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Set
+
+from repro.errors import SchedulerError
+from repro.rdd.dependencies import ShuffleDependency, TransferDependency
+from repro.rdd.rdd import RDD, HadoopRDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.context import ClusterContext
+    from repro.scheduler.stage import Stage
+
+
+def stage_input_bytes_by_datacenter(
+    stage: "Stage", context: "ClusterContext"
+) -> Dict[str, float]:
+    """Logical input bytes of a stage, aggregated per datacenter."""
+    topology = context.topology
+    by_dc: Dict[str, float] = {name: 0.0 for name in topology.datacenters}
+    visited: Set[int] = set()
+
+    def visit(rdd: RDD) -> None:
+        if rdd.rdd_id in visited:
+            return
+        visited.add(rdd.rdd_id)
+        if rdd.cached:
+            cached_any = False
+            for partition in range(rdd.num_partitions):
+                entry = context.cache.lookup(rdd.rdd_id, partition)
+                if entry is not None:
+                    dc = topology.datacenter_of(entry.host)
+                    by_dc[dc] = by_dc.get(dc, 0.0) + entry.size_bytes
+                    cached_any = True
+            if cached_any:
+                return  # cached data is this branch's effective input
+        if isinstance(rdd, HadoopRDD):
+            for partition in range(rdd.num_partitions):
+                block_id = rdd.block_id(partition)
+                locations = context.dfs.block_locations(block_id)
+                size = context.dfs.block_size(block_id)
+                dc = topology.datacenter_of(locations[0])
+                by_dc[dc] = by_dc.get(dc, 0.0) + size
+            return
+        for dep in rdd.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                tracker = context.map_output_tracker
+                if tracker.is_complete(dep.shuffle_id):
+                    host_to_dc = {
+                        host: topology.datacenter_of(host)
+                        for host in topology.all_host_names()
+                    }
+                    for dc, size in tracker.total_output_by_datacenter(
+                        dep.shuffle_id, host_to_dc
+                    ).items():
+                        by_dc[dc] = by_dc.get(dc, 0.0) + size
+            elif isinstance(dep, TransferDependency):
+                staged = context.transfer_tracker
+                for partition in range(dep.parent.num_partitions):
+                    entry = staged.try_get(dep.transfer_id, partition)
+                    if entry is not None:
+                        dc = topology.datacenter_of(entry.host)
+                        by_dc[dc] = by_dc.get(dc, 0.0) + entry.size_bytes
+            else:
+                visit(dep.parent)
+
+    visit(stage.rdd)
+    return by_dc
+
+
+def select_aggregator_datacenters(
+    stage: "Stage", context: "ClusterContext", subset_size: int = 1
+) -> List[str]:
+    """The ``subset_size`` datacenters holding the most stage input.
+
+    Deterministic: sorted by (bytes descending, name ascending).  Falls
+    back to the driver's datacenter when no input bytes are visible at
+    all (e.g. a parallelized source).
+    """
+    if subset_size < 1:
+        raise SchedulerError("subset_size must be >= 1")
+    by_dc = stage_input_bytes_by_datacenter(stage, context)
+    ranked = sorted(by_dc.items(), key=lambda item: (-item[1], item[0]))
+    chosen = [dc for dc, size in ranked[:subset_size] if size > 0]
+    if not chosen:
+        chosen = [context.topology.datacenter_of(context.driver_host)]
+    return chosen

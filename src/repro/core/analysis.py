@@ -1,0 +1,114 @@
+"""The paper's §III-B analytical model of shuffle traffic.
+
+Setting: shuffle input is spread over M datacenters with partition sizes
+``s_1 >= s_2 >= ... >= s_M`` (total S), each partition divided into N
+equal shards for N reducers.
+
+* Eq. (1): a reducer placed in datacenter ``i`` fetches
+  ``(S - s_i) / N`` bytes across datacenters, minimised by placing it in
+  the datacenter holding the largest partition.
+* Eq. (2): total cross-datacenter shuffle traffic is at least
+  ``S - s_1``, with equality iff every reducer is placed in that
+  datacenter.
+
+Hence the two §III conclusions: reducers gravitate to the datacenter
+with the largest shuffle-input fraction, and aggregating shuffle input
+into few datacenters (raising ``s_1 / S``) shrinks the bound — to zero
+when everything is aggregated into one datacenter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+
+def reducer_fetch_volume(
+    sizes_by_dc: Mapping[str, float], reducer_dc: str, num_reducers: int
+) -> float:
+    """Eq. (1): cross-datacenter bytes fetched by one reducer.
+
+    ``sizes_by_dc`` maps datacenter -> shuffle-input bytes stored there;
+    the reducer sits in ``reducer_dc`` and takes a 1/N shard of every
+    partition.
+    """
+    if num_reducers < 1:
+        raise ValueError("num_reducers must be >= 1")
+    _validate_sizes(sizes_by_dc)
+    total = sum(sizes_by_dc.values())
+    local = sizes_by_dc.get(reducer_dc, 0.0)
+    return (total - local) / num_reducers
+
+
+def total_fetch_volume(
+    sizes_by_dc: Mapping[str, float],
+    reducer_placement: Sequence[str],
+) -> float:
+    """Total cross-datacenter traffic for a concrete reducer placement.
+
+    ``reducer_placement[k]`` is the datacenter of reducer ``k``; shards
+    are the equal-size 1/N fractions of the model.
+    """
+    num_reducers = len(reducer_placement)
+    if num_reducers == 0:
+        raise ValueError("need at least one reducer")
+    return sum(
+        reducer_fetch_volume(sizes_by_dc, dc, num_reducers)
+        for dc in reducer_placement
+    )
+
+
+def cross_dc_traffic_lower_bound(sizes_by_dc: Mapping[str, float]) -> float:
+    """Eq. (2): the minimum total cross-datacenter shuffle traffic S - s1."""
+    _validate_sizes(sizes_by_dc)
+    if not sizes_by_dc:
+        return 0.0
+    total = sum(sizes_by_dc.values())
+    return total - max(sizes_by_dc.values())
+
+
+def optimal_reducer_datacenter(sizes_by_dc: Mapping[str, float]) -> str:
+    """The datacenter achieving the Eq. (2) bound: the largest holder.
+
+    Ties break lexicographically for determinism.
+    """
+    _validate_sizes(sizes_by_dc)
+    if not sizes_by_dc:
+        raise ValueError("no datacenters given")
+    return min(sizes_by_dc, key=lambda dc: (-sizes_by_dc[dc], dc))
+
+
+def aggregation_benefit(
+    sizes_by_dc: Mapping[str, float], aggregated_fraction: float
+) -> float:
+    """Residual lower bound after aggregating ``aggregated_fraction`` of
+    the shuffle input into the largest datacenter.
+
+    Illustrates the second §III-C conclusion: pushing ``s1/S`` towards 1
+    drives the bound towards 0.
+    """
+    if not 0 <= aggregated_fraction <= 1:
+        raise ValueError("aggregated_fraction must be in [0, 1]")
+    _validate_sizes(sizes_by_dc)
+    total = sum(sizes_by_dc.values())
+    if total == 0:
+        return 0.0
+    largest = max(sizes_by_dc.values())
+    remainder = total - largest
+    # Aggregation moves a fraction of the non-local input into DC 1.
+    return remainder * (1 - aggregated_fraction)
+
+
+def _validate_sizes(sizes_by_dc: Mapping[str, float]) -> None:
+    for dc, size in sizes_by_dc.items():
+        if size < 0:
+            raise ValueError(f"negative shuffle input size for {dc!r}")
+
+
+def shard_matrix(
+    sizes_by_dc: Mapping[str, float], num_reducers: int
+) -> Dict[str, float]:
+    """Per-datacenter shard size (each of the N equal shards), a helper
+    for tests visualising the §III-B model."""
+    if num_reducers < 1:
+        raise ValueError("num_reducers must be >= 1")
+    return {dc: size / num_reducers for dc, size in sizes_by_dc.items()}

@@ -1,0 +1,101 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures without catching programming errors such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation kernel is misused."""
+
+
+class EventAlreadyFiredError(SimulationError):
+    """Raised when succeeding or failing an event that has already fired."""
+
+
+class ProcessDiedError(SimulationError):
+    """Raised inside a process that waits on another process which failed."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-model errors."""
+
+
+class NoRouteError(NetworkError):
+    """Raised when the topology has no route between two hosts."""
+
+
+class UnknownHostError(NetworkError):
+    """Raised when a host or datacenter name is not present in the topology."""
+
+
+class StorageError(ReproError):
+    """Base class for distributed-storage errors."""
+
+
+class BlockNotFoundError(StorageError):
+    """Raised when a requested block id is not known to the namenode."""
+
+
+class FileNotFoundInDFSError(StorageError):
+    """Raised when a requested path is not present in the DFS namespace."""
+
+
+class FileExistsInDFSError(StorageError):
+    """Raised when creating a DFS path that already exists."""
+
+
+class RDDError(ReproError):
+    """Base class for RDD-engine errors."""
+
+
+class LineageError(RDDError):
+    """Raised when an RDD lineage graph is malformed (e.g. cyclic)."""
+
+
+class PartitionError(RDDError):
+    """Raised when a partition index is out of range or inconsistent."""
+
+
+class SchedulerError(ReproError):
+    """Base class for DAG/task scheduler errors."""
+
+
+class NoEligibleExecutorError(SchedulerError):
+    """Raised when a task cannot be placed on any executor at all."""
+
+
+class TaskFailedError(SchedulerError):
+    """Raised when a task exhausts its retry budget."""
+
+    def __init__(self, task_id: str, attempts: int, cause: str = "") -> None:
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+        message = f"task {task_id} failed after {attempts} attempts"
+        if cause:
+            message = f"{message}: {cause}"
+        super().__init__(message)
+
+
+class ShuffleError(ReproError):
+    """Base class for shuffle-machinery errors."""
+
+
+class MapOutputMissingError(ShuffleError):
+    """Raised when shuffle input for a reducer cannot be located."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload specification is invalid."""

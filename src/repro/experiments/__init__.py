@@ -1,0 +1,42 @@
+"""Experiment harness: everything needed to regenerate the paper's
+tables and figures.
+
+* :mod:`repro.experiments.schemes` — the three compared systems:
+  ``Spark`` (stock fetch-based shuffle), ``Centralized`` (ship all raw
+  input to one datacenter first), ``AggShuffle`` (the paper's
+  Push/Aggregate with implicit ``transfer_to``).
+* :mod:`repro.experiments.runner` — run one (workload, scheme, seed)
+  cell on the Fig. 6 cluster and collect metrics.
+* :mod:`repro.experiments.figures` — Fig. 7 (job completion times),
+  Fig. 8 (cross-datacenter traffic), Fig. 9 (stage breakdowns), and the
+  §V headline numbers.
+* :mod:`repro.experiments.motivation` — the Fig. 1 / Fig. 2 timing
+  examples on the raw network fabric.
+"""
+
+from repro.experiments.schemes import Scheme, config_for_scheme
+from repro.experiments.runner import (
+    ExperimentPlan,
+    RunResult,
+    run_matrix,
+    run_workload_once,
+)
+from repro.experiments.figures import (
+    fig7_job_completion_times,
+    fig8_cross_dc_traffic,
+    fig9_stage_breakdown,
+    headline_numbers,
+)
+
+__all__ = [
+    "Scheme",
+    "config_for_scheme",
+    "ExperimentPlan",
+    "RunResult",
+    "run_workload_once",
+    "run_matrix",
+    "fig7_job_completion_times",
+    "fig8_cross_dc_traffic",
+    "fig9_stage_breakdown",
+    "headline_numbers",
+]

@@ -1,0 +1,71 @@
+"""The Centralized baseline's pre-processing phase.
+
+"All raw data is sent to a single datacenter before being processed.
+After all data is centralized within a cluster, Spark works within a
+datacenter to process data" (§V-A).  The phase transfers every input
+block that is outside the destination datacenter, concurrently, over
+the simulated WAN — charging both time and cross-datacenter traffic —
+then rewrites the DFS metadata so the job's map tasks find local
+blocks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cluster.context import ClusterContext
+
+
+def centralize_input(
+    context: ClusterContext, path: str, destination_datacenter: str
+) -> float:
+    """Ship file ``path`` into one datacenter; returns elapsed seconds."""
+    workers = context.workers_in(destination_datacenter)
+    if not workers:
+        raise ValueError(
+            f"no workers in datacenter {destination_datacenter!r}"
+        )
+    start = context.sim.now
+    process = context.sim.spawn(
+        _centralize_process(context, path, destination_datacenter, workers),
+        name=f"centralize:{path}",
+    )
+    context.sim.run_until_event(process)
+    return context.sim.now - start
+
+
+def _centralize_process(
+    context: ClusterContext,
+    path: str,
+    destination_datacenter: str,
+    workers: List[str],
+):
+    dfs = context.dfs
+    topology = context.topology
+    block_ids = dfs.file_blocks(path)
+
+    new_partitions = []
+    new_sizes = []
+    new_hosts = []
+    flows = []
+    for index, block_id in enumerate(block_ids):
+        source = dfs.block_locations(block_id)[0]
+        block = dfs.read_block(block_id)
+        target = workers[index % len(workers)]
+        if topology.datacenter_of(source) != destination_datacenter:
+            flows.append(
+                context.fabric.transfer(
+                    source, target, block.size_bytes, tag="centralize"
+                )
+            )
+        else:
+            target = source  # already local: leave the block in place
+        new_partitions.append(block.records)
+        new_sizes.append(block.size_bytes)
+        new_hosts.append(target)
+    if flows:
+        yield context.sim.all_of(flows)
+
+    dfs.delete_file(path)
+    dfs.write_file(path, new_partitions, new_sizes, placement_hosts=new_hosts)
+    return len(flows)

@@ -1,0 +1,122 @@
+"""Figure-level aggregation: the rows/series the paper's plots show.
+
+Each function consumes :class:`~repro.experiments.runner.RunResult`
+lists (typically produced by ``run_matrix``) and returns plain data
+structures; the benchmark scripts format them as tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.runner import RunResult
+from repro.experiments.schemes import Scheme
+from repro.metrics.stats import SummaryStats, reduction_percent, summarize
+
+
+def _group(
+    results: Sequence[RunResult],
+) -> Dict[Tuple[str, Scheme], List[RunResult]]:
+    grouped: Dict[Tuple[str, Scheme], List[RunResult]] = defaultdict(list)
+    for result in results:
+        grouped[(result.workload, result.scheme)].append(result)
+    return grouped
+
+
+def fig7_job_completion_times(
+    results: Sequence[RunResult],
+) -> Dict[str, Dict[str, SummaryStats]]:
+    """Fig. 7: per workload x scheme, the job-completion-time summary
+    (10 %-trimmed mean bar, median dot, interquartile error bar)."""
+    figure: Dict[str, Dict[str, SummaryStats]] = {}
+    for (workload, scheme), cell in _group(results).items():
+        figure.setdefault(workload, {})[scheme.value] = summarize(
+            [run.duration for run in cell]
+        )
+    return figure
+
+
+def fig8_cross_dc_traffic(
+    results: Sequence[RunResult],
+    workloads: Sequence[str] = ("Sort", "TeraSort", "PageRank", "NaiveBayes"),
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 8: average cross-datacenter traffic (MB) per workload x scheme.
+
+    The paper's Fig. 8 plots Sort, TeraSort, PageRank, and NaiveBayes;
+    for Centralized the bars include the initial centralisation traffic
+    ("the cross-region traffic to aggregate all data into the
+    centralized datacenter").
+    """
+    figure: Dict[str, Dict[str, float]] = {}
+    for (workload, scheme), cell in _group(results).items():
+        if workload not in workloads:
+            continue
+        if scheme is Scheme.CENTRALIZED:
+            # Paper semantics: the Centralized bar is the traffic needed
+            # to aggregate all raw data into the central datacenter.
+            mean = sum(
+                run.cross_dc_by_tag.get("centralize", 0.0) for run in cell
+            ) / len(cell)
+        else:
+            mean = sum(run.cross_dc_megabytes for run in cell) / len(cell)
+        figure.setdefault(workload, {})[scheme.value] = mean
+    return figure
+
+
+def fig9_stage_breakdown(
+    results: Sequence[RunResult],
+) -> Dict[str, Dict[str, List[SummaryStats]]]:
+    """Fig. 9: per workload x scheme, one SummaryStats per stage position.
+
+    Stages are matched across seeds by their order of submission (stage
+    ids are globally unique, so position is the stable key).
+    """
+    figure: Dict[str, Dict[str, List[SummaryStats]]] = {}
+    for (workload, scheme), cell in _group(results).items():
+        by_position: Dict[int, List[float]] = defaultdict(list)
+        for run in cell:
+            for position, stage in enumerate(run.stages):
+                by_position[position].append(stage.duration)
+        stages = [
+            summarize(by_position[position])
+            for position in sorted(by_position)
+        ]
+        figure.setdefault(workload, {})[scheme.value] = stages
+    return figure
+
+
+def headline_numbers(results: Sequence[RunResult]) -> Dict[str, Dict[str, float]]:
+    """The §V summary: per workload, JCT and traffic reduction of
+    AggShuffle relative to Spark (paper: 14-73 % JCT, 16-90 % traffic)."""
+    jct = fig7_job_completion_times(results)
+    headline: Dict[str, Dict[str, float]] = {}
+    grouped = _group(results)
+    for workload, by_scheme in jct.items():
+        spark = by_scheme.get(Scheme.SPARK.value)
+        agg = by_scheme.get(Scheme.AGGSHUFFLE.value)
+        if spark is None or agg is None:
+            continue
+        entry: Dict[str, float] = {
+            "jct_reduction_pct": reduction_percent(spark.trimmed, agg.trimmed),
+            "spark_jct": spark.trimmed,
+            "aggshuffle_jct": agg.trimmed,
+            "spark_iqr": spark.iqr_width,
+            "aggshuffle_iqr": agg.iqr_width,
+        }
+        spark_runs = grouped.get((workload, Scheme.SPARK), [])
+        agg_runs = grouped.get((workload, Scheme.AGGSHUFFLE), [])
+        if spark_runs and agg_runs:
+            spark_traffic = sum(
+                run.cross_dc_megabytes for run in spark_runs
+            ) / len(spark_runs)
+            agg_traffic = sum(
+                run.cross_dc_megabytes for run in agg_runs
+            ) / len(agg_runs)
+            entry["traffic_reduction_pct"] = reduction_percent(
+                spark_traffic, agg_traffic
+            )
+            entry["spark_traffic_mb"] = spark_traffic
+            entry["aggshuffle_traffic_mb"] = agg_traffic
+        headline[workload] = entry
+    return headline

@@ -1,0 +1,197 @@
+"""Run (workload, scheme, seed) cells on the Fig. 6 cluster.
+
+One *cell* = build a fresh simulated cluster, install the generated
+input with the skewed block placement, optionally pre-process the input
+(Centralized / Iridium-like schemes), run the workload's job, and
+snapshot the metrics.
+
+Seeding follows the paper's methodology ("10 iterative runs" of the
+same benchmark): the dataset and its block placement are generated once
+(``ExperimentPlan.fixed_data_seed``), while the per-run ``seed`` varies
+only the environment — bandwidth jitter and injected failures — so the
+reported spread is performance variation *over time*, not across
+datasets.  Set ``fixed_data_seed=None`` to regenerate data per run
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.builder import ClusterSpec, ec2_six_region_spec
+from repro.cluster.context import ClusterContext
+from repro.config import SimulationConfig
+from repro.experiments.centralize import centralize_input
+from repro.metrics.billing import bill_traffic
+from repro.experiments.iridium import iridium_redistribute
+from repro.experiments.placement import (
+    DEFAULT_HOT_WEIGHT,
+    skewed_block_placement,
+)
+from repro.experiments.schemes import Scheme, config_for_scheme
+from repro.simulation.random_source import RandomSource
+from repro.workloads.base import Workload
+
+
+@dataclass
+class StageRecord:
+    """One stage's span inside a run (Fig. 9 raw material)."""
+
+    name: str
+    kind: str
+    started_at: float
+    duration: float
+
+
+@dataclass
+class RunResult:
+    """Everything measured about one cell."""
+
+    workload: str
+    scheme: Scheme
+    seed: int
+    duration: float
+    job_duration: float
+    centralize_duration: float
+    cross_dc_megabytes: float
+    total_megabytes: float
+    cross_dc_by_tag: Dict[str, float]
+    # Dollar cost of the run's inter-datacenter traffic (EC2-style
+    # egress pricing; see repro.metrics.billing).
+    cost_dollars: float = 0.0
+    stages: List[StageRecord] = field(default_factory=list)
+    injected_failures: int = 0
+    action_result: Any = None
+
+
+@dataclass
+class ExperimentPlan:
+    """Shared parameters of a figure's run matrix."""
+
+    cluster: ClusterSpec = field(default_factory=ec2_six_region_spec)
+    seeds: Sequence[int] = tuple(range(10))
+    hot_weight: float = DEFAULT_HOT_WEIGHT
+    base_config: Optional[SimulationConfig] = None
+    keep_action_results: bool = False
+    # Optional straggler model (repro.failures.StragglerModel); applied
+    # to every task attempt's CPU charges.
+    straggler_model: Any = None
+    # Seed for data generation and block placement; None regenerates
+    # them per run seed (see module docstring).
+    fixed_data_seed: Optional[int] = 0
+
+
+# Cache of generated input, shared across schemes/seeds of one process.
+_DATA_CACHE: Dict[Tuple[str, int], List[List[Any]]] = {}
+
+
+def generated_input(workload: Workload, seed: int) -> List[List[Any]]:
+    """Seed-deterministic input partitions, cached per (workload, seed)."""
+    key = (workload.name, seed)
+    if key not in _DATA_CACHE:
+        _DATA_CACHE[key] = workload.generate(
+            RandomSource(seed).child(f"data:{workload.name}")
+        )
+    return _DATA_CACHE[key]
+
+
+def clear_data_cache() -> None:
+    _DATA_CACHE.clear()
+
+
+def run_workload_once(
+    workload: Workload,
+    scheme: Scheme,
+    seed: int,
+    plan: Optional[ExperimentPlan] = None,
+) -> RunResult:
+    """Execute one cell and return its measurements."""
+    plan = plan if plan is not None else ExperimentPlan()
+    config = config_for_scheme(scheme, workload.spec, seed, plan.base_config)
+    context = ClusterContext(
+        plan.cluster, config, straggler_model=plan.straggler_model
+    )
+
+    data_seed = plan.fixed_data_seed if plan.fixed_data_seed is not None else seed
+    partitions = generated_input(workload, data_seed)
+    placement = skewed_block_placement(
+        plan.cluster,
+        RandomSource(data_seed).child(f"placement:{workload.name}"),
+        num_blocks=len(partitions),
+        hot_weight=plan.hot_weight,
+    )
+    workload.install(context, partitions, placement_hosts=placement)
+
+    started = context.sim.now
+    centralize_duration = 0.0
+    if scheme is Scheme.CENTRALIZED:
+        destination = plan.cluster.resolved_driver_datacenter
+        centralize_duration = centralize_input(
+            context, workload.input_path, destination
+        )
+    elif scheme is Scheme.IRIDIUM:
+        centralize_duration = iridium_redistribute(
+            context, workload.input_path
+        )
+    action_result = workload.run(context)
+    duration = context.sim.now - started
+    context.shutdown()
+
+    job = context.metrics.job
+    stages = [
+        StageRecord(
+            name=span.name,
+            kind=span.kind,
+            started_at=span.submitted_at,
+            duration=span.duration,
+        )
+        for span in job.stages
+    ]
+    if scheme in (Scheme.CENTRALIZED, Scheme.IRIDIUM) and centralize_duration > 0:
+        stages.insert(
+            0,
+            StageRecord(
+                name="centralize-input"
+                if scheme is Scheme.CENTRALIZED
+                else "redistribute-input",
+                kind="centralize",
+                started_at=started,
+                duration=centralize_duration,
+            ),
+        )
+    return RunResult(
+        workload=workload.name,
+        scheme=scheme,
+        seed=seed,
+        duration=duration,
+        job_duration=job.duration,
+        centralize_duration=centralize_duration,
+        cross_dc_megabytes=context.traffic.cross_dc_megabytes,
+        total_megabytes=context.traffic.total_bytes / 1e6,
+        cross_dc_by_tag={
+            tag: size / 1e6
+            for tag, size in context.traffic.cross_dc_by_tag.items()
+        },
+        cost_dollars=bill_traffic(context.traffic).total_dollars,
+        stages=stages,
+        injected_failures=job.injected_failures,
+        action_result=action_result if plan.keep_action_results else None,
+    )
+
+
+def run_matrix(
+    workloads: Sequence[Workload],
+    schemes: Sequence[Scheme],
+    plan: Optional[ExperimentPlan] = None,
+) -> List[RunResult]:
+    """The full cross product: every workload x scheme x seed."""
+    plan = plan if plan is not None else ExperimentPlan()
+    results: List[RunResult] = []
+    for workload in workloads:
+        for scheme in schemes:
+            for seed in plan.seeds:
+                results.append(
+                    run_workload_once(workload, scheme, seed, plan)
+                )
+    return results

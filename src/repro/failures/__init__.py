@@ -1,0 +1,6 @@
+"""Failure and straggler injection (paper Fig. 2 / §II-B)."""
+
+from repro.failures.injector import FailureInjector
+from repro.failures.stragglers import StragglerModel
+
+__all__ = ["FailureInjector", "StragglerModel"]

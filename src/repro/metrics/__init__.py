@@ -1,0 +1,35 @@
+"""Metrics: timelines, traffic, and the statistics the paper reports.
+
+* :mod:`repro.metrics.collectors` — listener collecting job/stage/task
+  spans and byte counters during a run.
+* :mod:`repro.metrics.stats` — the 10 %-trimmed mean, median, and
+  interquartile range used in Fig. 7 / Fig. 9.
+* :mod:`repro.metrics.reporting` — plain-text tables for benchmark
+  output.
+"""
+
+from repro.metrics.collectors import (
+    JobMetrics,
+    MetricsCollector,
+    StageSpan,
+    TaskSpan,
+)
+from repro.metrics.stats import (
+    interquartile_range,
+    median,
+    summarize,
+    trimmed_mean,
+    SummaryStats,
+)
+
+__all__ = [
+    "JobMetrics",
+    "MetricsCollector",
+    "StageSpan",
+    "TaskSpan",
+    "trimmed_mean",
+    "median",
+    "interquartile_range",
+    "summarize",
+    "SummaryStats",
+]

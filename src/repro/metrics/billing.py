@@ -1,0 +1,87 @@
+"""Inter-datacenter bandwidth billing.
+
+The paper's opening motivation is "the time and bandwidth *cost* for
+moving data across datacenters".  Cloud providers bill inter-region
+egress per gigabyte, so cross-datacenter bytes translate directly into
+dollars; this module prices a run's traffic with EC2-style egress rates
+and is used by the harness to report the monetary side of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.network.traffic_monitor import TrafficMonitor
+
+GB = 1_000_000_000.0
+
+# Circa-2016 EC2 inter-region data-transfer prices ($/GB, source region
+# egress).  Intra-region traffic is free.
+DEFAULT_EGRESS_PRICES: Dict[str, float] = {
+    "us-east-1": 0.02,
+    "us-west-1": 0.02,
+    "eu-central-1": 0.02,
+    "ap-southeast-1": 0.09,
+    "ap-southeast-2": 0.14,
+    "sa-east-1": 0.16,
+}
+DEFAULT_PRICE = 0.05
+
+
+@dataclass(frozen=True)
+class PricingPolicy:
+    """Per-source-datacenter egress prices in $/GB."""
+
+    egress_per_gb: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_EGRESS_PRICES)
+    )
+    default_per_gb: float = DEFAULT_PRICE
+
+    def price(self, source_datacenter: str) -> float:
+        return self.egress_per_gb.get(source_datacenter, self.default_per_gb)
+
+
+@dataclass
+class BillingReport:
+    """Dollar cost of one run's cross-datacenter traffic."""
+
+    total_dollars: float
+    by_source: Dict[str, float]
+    by_pair: Dict[Tuple[str, str], float]
+
+    def dominant_source(self) -> str:
+        if not self.by_source:
+            return ""
+        return max(self.by_source, key=self.by_source.get)
+
+
+def bill_traffic(
+    monitor: TrafficMonitor, policy: PricingPolicy | None = None
+) -> BillingReport:
+    """Price every cross-datacenter flow the monitor recorded."""
+    policy = policy if policy is not None else PricingPolicy()
+    by_source: Dict[str, float] = {}
+    by_pair: Dict[Tuple[str, str], float] = {}
+    total = 0.0
+    for (src, dst), size_bytes in monitor.by_pair.items():
+        if src == dst:
+            continue
+        dollars = (size_bytes / GB) * policy.price(src)
+        total += dollars
+        by_source[src] = by_source.get(src, 0.0) + dollars
+        by_pair[(src, dst)] = dollars
+    return BillingReport(
+        total_dollars=total, by_source=by_source, by_pair=by_pair
+    )
+
+
+def cost_comparison(
+    monitors: Mapping[str, TrafficMonitor],
+    policy: PricingPolicy | None = None,
+) -> Dict[str, float]:
+    """Scheme name -> run cost in dollars, for side-by-side reporting."""
+    return {
+        name: bill_traffic(monitor, policy).total_dollars
+        for name, monitor in monitors.items()
+    }

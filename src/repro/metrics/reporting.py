@@ -1,0 +1,154 @@
+"""Plain-text reporting: tables, stage timelines, and traffic matrices.
+
+§IV-E of the paper notes that expressing transfers as computation lets
+"inter-datacenter data transfers ... be shown from the Spark WebUI ...
+visualizing the critical inter-datacenter traffic".  This module is that
+idea for a terminal: render a job's stage Gantt chart (transfers appear
+as first-class stages) and the cross-datacenter traffic matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.metrics.collectors import JobMetrics
+from repro.network.traffic_monitor import TrafficMonitor
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    align_right: bool = True,
+) -> str:
+    """A minimal fixed-width table (no external dependencies)."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in cells))
+        if cells else len(headers[column])
+        for column in range(len(headers))
+    ]
+
+    def render_row(row: Sequence[str]) -> str:
+        parts = []
+        for column, value in enumerate(row):
+            if align_right and column > 0:
+                parts.append(value.rjust(widths[column]))
+            else:
+                parts.append(value.ljust(widths[column]))
+        return "  ".join(parts).rstrip()
+
+    lines = [render_row(list(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def stage_timeline(job: JobMetrics, width: int = 60) -> str:
+    """An ASCII Gantt chart of a job's stages.
+
+    Transfer-producer and receiver stages appear alongside computation,
+    making the WAN pushes visible exactly as §IV-E envisions.
+    """
+    if not job.stages:
+        return "(no stages recorded)"
+    start = min(span.submitted_at for span in job.stages)
+    end = max(
+        span.finished_at
+        for span in job.stages
+        if span.finished_at is not None
+    )
+    horizon = max(end - start, 1e-9)
+    lines = [
+        f"job: {job.duration:.1f}s over {len(job.stages)} stages "
+        f"(1 col = {horizon / width:.2f}s)"
+    ]
+    for span in job.stages:
+        if span.finished_at is None:
+            continue
+        lead = int((span.submitted_at - start) / horizon * width)
+        body = max(1, int(span.duration / horizon * width))
+        bar = " " * lead + "#" * body
+        label = span.kind[:17]
+        lines.append(
+            f"  {label:<18}|{bar:<{width}}| {span.duration:7.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def traffic_matrix(
+    monitor: TrafficMonitor, datacenters: Sequence[str]
+) -> str:
+    """Source x destination cross-datacenter megabytes."""
+    headers = ["src \\ dst"] + list(datacenters)
+    rows: List[List[str]] = []
+    for src in datacenters:
+        row: List[str] = [src]
+        for dst in datacenters:
+            megabytes = monitor.by_pair.get((src, dst), 0.0) / 1e6
+            row.append(f"{megabytes:.1f}" if megabytes else ".")
+        rows.append(row)
+    table = format_table(headers, rows)
+    total = monitor.cross_dc_megabytes
+    return f"{table}\ncross-DC total: {total:.1f} MB"
+
+
+def traffic_by_cause(monitor: TrafficMonitor) -> str:
+    """Cross-datacenter megabytes per flow tag (shuffle, transfer, ...)."""
+    rows: List[Tuple[str, str]] = [
+        (tag, f"{size / 1e6:.1f}")
+        for tag, size in sorted(
+            monitor.cross_dc_by_tag.items(), key=lambda item: -item[1]
+        )
+    ]
+    if not rows:
+        return "(no cross-datacenter traffic)"
+    return format_table(["cause", "cross-DC MB"], rows)
+
+
+def job_report(
+    job: JobMetrics,
+    monitor: TrafficMonitor,
+    datacenters: Sequence[str],
+) -> str:
+    """The full after-job report: timeline + traffic views."""
+    sections = [
+        stage_timeline(job),
+        "",
+        traffic_by_cause(monitor),
+        "",
+        traffic_matrix(monitor, datacenters),
+    ]
+    return "\n".join(sections)
+
+
+def lineage_dump(rdd) -> str:
+    """A textual DAG of an RDD's lineage, stage boundaries annotated."""
+    from repro.rdd.dependencies import (
+        ShuffleDependency,
+        TransferDependency,
+    )
+
+    lines: List[str] = []
+    for node in rdd.lineage():
+        edges: List[str] = []
+        for dep in node.dependencies:
+            if isinstance(dep, ShuffleDependency):
+                edges.append(
+                    f"shuffle#{dep.shuffle_id} <- {dep.parent.name}"
+                    f"({dep.parent.rdd_id})"
+                )
+            elif isinstance(dep, TransferDependency):
+                destination = dep.destination_datacenter or "auto"
+                edges.append(
+                    f"transfer#{dep.transfer_id}[{destination}] <- "
+                    f"{dep.parent.name}({dep.parent.rdd_id})"
+                )
+            else:
+                edges.append(f"narrow <- {dep.parent.name}({dep.parent.rdd_id})")
+        marker = " [cached]" if node.cached else ""
+        suffix = f" {{{'; '.join(edges)}}}" if edges else " {source}"
+        lines.append(
+            f"({node.rdd_id}) {node.name}"
+            f"[{node.num_partitions}]{marker}{suffix}"
+        )
+    return "\n".join(lines)

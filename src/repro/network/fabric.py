@@ -1,0 +1,285 @@
+"""The network fabric: flow-level transfer simulation.
+
+:class:`NetworkFabric` is the component every other subsystem uses to move
+bytes.  A call to :meth:`NetworkFabric.transfer` registers a fluid flow on
+its route and returns an event that fires when the last byte (plus
+propagation latency) arrives.  All concurrent flows share links according
+to max-min fairness; rates are recomputed whenever
+
+* a flow starts,
+* a flow finishes, or
+* a link capacity changes (bandwidth jitter).
+
+Between recomputations every flow progresses linearly at its current rate,
+so the fabric only needs to wake at the earliest projected completion.
+Stale wake-ups (scheduled before a recomputation) are detected with a
+version counter and ignored.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional
+
+from repro.network.fair_share import max_min_fair_rates
+from repro.network.topology import Link, Topology
+from repro.network.traffic_monitor import TrafficMonitor
+from repro.simulation.event import Event
+from repro.simulation.kernel import Simulator
+
+# A flow is considered drained when the remaining bytes fall below this
+# fraction of its size (with an absolute floor for tiny flows).  The
+# threshold must be relative: float rounding on a multi-megabyte flow
+# leaves ~1e-9 of its size unaccounted, far above any absolute epsilon.
+_DRAIN_RELATIVE = 1e-9
+_DRAIN_FLOOR = 1e-6
+
+
+def _drain_threshold(size_bytes: float) -> float:
+    return max(_DRAIN_FLOOR, _DRAIN_RELATIVE * size_bytes)
+
+
+class Flow:
+    """One in-flight transfer between two hosts."""
+
+    __slots__ = (
+        "flow_id",
+        "src_host",
+        "dst_host",
+        "size_bytes",
+        "remaining",
+        "route",
+        "tag",
+        "completion",
+        "rate",
+        "started_at",
+        "finished_at",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src_host: str,
+        dst_host: str,
+        size_bytes: float,
+        route: List[Link],
+        tag: str,
+        completion: Event,
+        started_at: float,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.size_bytes = float(size_bytes)
+        self.remaining = float(size_bytes)
+        self.route = route
+        self.tag = tag
+        self.completion = completion
+        self.rate = 0.0
+        self.started_at = started_at
+        self.finished_at: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Flow {self.flow_id} {self.src_host}->{self.dst_host} "
+            f"{self.remaining:.0f}/{self.size_bytes:.0f}B @{self.rate:.0f}B/s>"
+        )
+
+
+class NetworkFabric:
+    """Schedules fluid flows over a :class:`Topology` with fair sharing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        monitor: Optional[TrafficMonitor] = None,
+        wan_flow_cap: Optional[float] = None,
+    ) -> None:
+        """``wan_flow_cap`` bounds any single WAN-crossing flow's rate
+        (bytes/second), modelling TCP throughput over high-RTT paths —
+        a single stream cannot fill an inter-region link even when the
+        link itself is idle."""
+        self.sim = sim
+        self.topology = topology
+        self.monitor = monitor if monitor is not None else TrafficMonitor()
+        self.wan_flow_cap = wan_flow_cap
+        self._flows: Dict[int, Flow] = {}
+        self._flow_ids = itertools.count()
+        self._last_update = sim.now
+        self._wake_version = 0
+        self._recompute_pending = False
+        self.completed_flows: List[Flow] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        src_host: str,
+        dst_host: str,
+        size_bytes: float,
+        tag: str = "",
+    ) -> Event:
+        """Start moving ``size_bytes`` from src to dst.
+
+        Returns an event firing with the :class:`Flow` once the transfer
+        (including propagation latency) completes.  Same-host transfers and
+        empty payloads complete after the route latency alone.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        flow_id = next(self._flow_ids)
+        route = self.topology.route(src_host, dst_host)
+        latency = sum(link.latency for link in route)
+        completion = self.sim.event(name=f"flow{flow_id}:done")
+        flow = Flow(
+            flow_id,
+            src_host,
+            dst_host,
+            size_bytes,
+            route,
+            tag,
+            completion,
+            started_at=self.sim.now,
+        )
+        if not route or size_bytes <= _DRAIN_FLOOR:
+            self._finish_flow(flow, extra_delay=latency)
+            return completion
+        self._advance_progress()
+        self._flows[flow_id] = flow
+        # Batch rate recomputation: a reducer starting dozens of fetch
+        # flows in one instant triggers a single solve, not one each.
+        self._schedule_recompute()
+        return flow.completion
+
+    def _schedule_recompute(self) -> None:
+        if self._recompute_pending:
+            return
+        self._recompute_pending = True
+        trigger = self.sim.event(name="fabric:recompute")
+        trigger.add_callback(self._run_recompute)
+        trigger.succeed(None)
+
+    def _run_recompute(self, _event) -> None:
+        self._recompute_pending = False
+        self._advance_progress()
+        self._reschedule()
+
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    def active_flows(self) -> List[Flow]:
+        return list(self._flows.values())
+
+    def current_rate(self, flow_event: Event) -> float:
+        """The instantaneous rate of the flow owning ``flow_event``."""
+        for flow in self._flows.values():
+            if flow.completion is flow_event:
+                return flow.rate
+        return 0.0
+
+    def notify_capacity_change(self) -> None:
+        """Re-solve rates after link capacities changed (jitter)."""
+        if not self._flows:
+            return
+        self._advance_progress()
+        self._reschedule()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _advance_progress(self) -> None:
+        """Charge each active flow for the time elapsed at its old rate."""
+        elapsed = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if elapsed <= 0:
+            return
+        for flow in self._flows.values():
+            flow.remaining -= flow.rate * elapsed
+            if flow.remaining < 0:
+                flow.remaining = 0.0
+
+    def _recompute_rates(self) -> None:
+        routes: Dict[int, List[str]] = {}
+        capacities: Dict[str, float] = {}
+        for flow_id, flow in self._flows.items():
+            names = [link.name for link in flow.route]
+            for link in flow.route:
+                capacities[link.name] = link.capacity
+            # The TCP cap is a virtual per-flow link on WAN routes.
+            if self.wan_flow_cap is not None and any(
+                link.is_wan for link in flow.route
+            ):
+                cap_name = f"cap:{flow_id}"
+                names.append(cap_name)
+                capacities[cap_name] = self.wan_flow_cap
+            routes[flow_id] = names
+        rates = max_min_fair_rates(routes, capacities)
+        for flow_id, flow in self._flows.items():
+            flow.rate = rates[flow_id]
+
+    def _reschedule(self) -> None:
+        """Complete drained flows, re-solve rates, and plan the next wake."""
+        # Retire every flow that drained by now (possibly several at once).
+        drained = [
+            flow
+            for flow in self._flows.values()
+            if flow.remaining <= _drain_threshold(flow.size_bytes)
+        ]
+        for flow in drained:
+            del self._flows[flow.flow_id]
+            latency = sum(link.latency for link in flow.route)
+            self._finish_flow(flow, extra_delay=latency)
+
+        if not self._flows:
+            self._wake_version += 1
+            return
+
+        self._recompute_rates()
+        horizon = min(
+            flow.remaining / flow.rate
+            for flow in self._flows.values()
+            if flow.rate > 0
+        )
+        # Guard against a zero horizon caused by floating-point residue.
+        max_rate = max(flow.rate for flow in self._flows.values())
+        horizon = max(horizon, _DRAIN_FLOOR / max_rate)
+        self._wake_version += 1
+        version = self._wake_version
+        wake = self.sim.timeout(horizon, name=f"fabric:wake@{version}")
+        wake.add_callback(lambda _event: self._on_wake(version))
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # superseded by a newer reschedule
+        self._advance_progress()
+        self._reschedule()
+
+    def _finish_flow(self, flow: Flow, extra_delay: float) -> None:
+        flow.finished_at = self.sim.now + extra_delay
+        src_dc = self.topology.datacenter_of(flow.src_host)
+        dst_dc = self.topology.datacenter_of(flow.dst_host)
+        self.monitor.record(src_dc, dst_dc, flow.size_bytes, flow.tag)
+        self.completed_flows.append(flow)
+        if extra_delay > 0:
+            done = self.sim.timeout(extra_delay)
+            done.add_callback(lambda _event: flow.completion.succeed(flow))
+        else:
+            flow.completion.succeed(flow)
+
+
+def ideal_transfer_time(
+    topology: Topology, src_host: str, dst_host: str, size_bytes: float
+) -> float:
+    """Lower-bound transfer time assuming the flow is alone on its route."""
+    route = topology.route(src_host, dst_host)
+    latency = sum(link.latency for link in route)
+    if not route or size_bytes <= 0:
+        return latency
+    bottleneck = min(link.capacity for link in route)
+    if bottleneck <= 0 or math.isinf(bottleneck):  # pragma: no cover
+        return latency
+    return latency + size_bytes / bottleneck

@@ -1,0 +1,148 @@
+"""Max-min fair bandwidth allocation via progressive filling.
+
+Given a set of flows, each traversing a set of links, and per-link
+capacities, the progressive-filling algorithm raises every unfrozen flow's
+rate uniformly until some link saturates; flows through that link freeze at
+the current fair share, the link's residual capacity is removed, and the
+process repeats.  The result is the unique max-min fair allocation.
+
+The solver is pure (no simulation state), which makes it easy to
+property-test: rates never exceed capacity on any link, every flow is
+bottlenecked somewhere, and raising one flow's rate would require lowering
+a flow with an equal-or-smaller rate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Sequence, Set
+
+FlowId = Hashable
+LinkId = Hashable
+
+# Tolerance for floating-point comparisons inside the solver.
+_EPSILON = 1e-12
+
+
+def max_min_fair_rates(
+    flow_routes: Mapping[FlowId, Sequence[LinkId]],
+    link_capacities: Mapping[LinkId, float],
+) -> Dict[FlowId, float]:
+    """Compute the max-min fair rate for every flow.
+
+    Args:
+        flow_routes: flow id -> the link ids the flow traverses.  A flow
+            with an empty route is unconstrained and gets ``float('inf')``.
+        link_capacities: link id -> capacity (bytes/second).
+
+    Returns:
+        flow id -> allocated rate in bytes/second.
+    """
+    rates: Dict[FlowId, float] = {}
+    # Unconstrained flows are infinitely fast at this abstraction level.
+    active: Set[FlowId] = set()
+    for flow_id, route in flow_routes.items():
+        if route:
+            active.add(flow_id)
+        else:
+            rates[flow_id] = float("inf")
+    if not active:
+        return rates
+
+    # Residual capacity and *active-flow count* per link, maintained
+    # incrementally as flows freeze — this keeps each filling round at
+    # O(links + active-route-length) instead of rebuilding per-link flow
+    # sets.
+    residual: Dict[LinkId, float] = {}
+    crossing: Dict[LinkId, int] = {}
+    saturation_floor: Dict[LinkId, float] = {}
+    for flow_id in active:
+        for link_id in flow_routes[flow_id]:
+            if link_id not in residual:
+                capacity = link_capacities[link_id]
+                if capacity <= 0:
+                    raise ValueError(f"link {link_id!r} has capacity <= 0")
+                residual[link_id] = float(capacity)
+                crossing[link_id] = 0
+                saturation_floor[link_id] = _EPSILON * max(1.0, capacity)
+            crossing[link_id] += 1
+
+    allocated: Dict[FlowId, float] = {flow_id: 0.0 for flow_id in active}
+    link_ids = list(residual)
+    # Progressive filling: repeat until every flow froze at some bottleneck.
+    while active:
+        bottleneck_share = None
+        for link_id in link_ids:
+            count = crossing[link_id]
+            if count == 0:
+                continue
+            share = residual[link_id] / count
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+        if bottleneck_share is None:  # pragma: no cover - defensive
+            break
+
+        saturated: Set[LinkId] = set()
+        for link_id in link_ids:
+            count = crossing[link_id]
+            if count == 0:
+                continue
+            remaining = residual[link_id] - bottleneck_share * count
+            if remaining < 0:
+                remaining = 0.0
+            residual[link_id] = remaining
+            if remaining <= saturation_floor[link_id]:
+                saturated.add(link_id)
+
+        frozen: List[FlowId] = []
+        for flow_id in active:
+            allocated[flow_id] += bottleneck_share
+            for link_id in flow_routes[flow_id]:
+                if link_id in saturated:
+                    frozen.append(flow_id)
+                    break
+        if not frozen:
+            # Numerical corner: freeze everything at the minimum share to
+            # guarantee termination.  In exact arithmetic this cannot happen.
+            frozen = list(active)
+        for flow_id in frozen:
+            active.discard(flow_id)
+            for link_id in flow_routes[flow_id]:
+                crossing[link_id] -= 1
+
+    rates.update(allocated)
+    return rates
+
+
+def verify_allocation(
+    flow_routes: Mapping[FlowId, Sequence[LinkId]],
+    link_capacities: Mapping[LinkId, float],
+    rates: Mapping[FlowId, float],
+    tolerance: float = 1e-6,
+) -> None:
+    """Assert feasibility and work conservation of an allocation.
+
+    Used by the test suite; raises AssertionError with a diagnostic when
+    the allocation overcommits a link or leaves a link that could still
+    admit more traffic for every flow crossing it.
+    """
+    usage: Dict[LinkId, float] = {link_id: 0.0 for link_id in link_capacities}
+    for flow_id, route in flow_routes.items():
+        for link_id in route:
+            usage[link_id] += rates[flow_id]
+    for link_id, used in usage.items():
+        capacity = link_capacities[link_id]
+        assert used <= capacity * (1 + tolerance) + tolerance, (
+            f"link {link_id!r} overcommitted: {used} > {capacity}"
+        )
+    # Work conservation: every constrained flow crosses >= 1 saturated link.
+    saturated = {
+        link_id
+        for link_id, used in usage.items()
+        if used >= link_capacities[link_id] * (1 - tolerance) - tolerance
+    }
+    for flow_id, route in flow_routes.items():
+        if not route:
+            continue
+        assert any(link_id in saturated for link_id in route), (
+            f"flow {flow_id!r} is not bottlenecked anywhere"
+        )

@@ -1,0 +1,114 @@
+"""Stochastic bandwidth fluctuation on WAN links.
+
+The paper measures EC2 inter-region capacity varying between roughly
+80 Mbps and 300 Mbps over time (§V-A, citing Flutter and Bellini).  We
+model each WAN link's capacity as a mean-reverting random walk sampled on
+a fixed period: every ``period`` seconds the capacity moves a bounded
+random step toward a fresh uniform target, clipped to ``[low, high]``.
+This produces the temporally correlated "jitter" that inflates baseline
+variance in Fig. 7 while staying simple and fully seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.network.fabric import NetworkFabric
+from repro.network.topology import Link, MBPS
+from repro.simulation.kernel import Simulator
+from repro.simulation.random_source import RandomSource
+
+
+@dataclass(frozen=True)
+class JitterSpec:
+    """Parameters of the WAN bandwidth fluctuation process."""
+
+    low: float = 80 * MBPS
+    high: float = 300 * MBPS
+    period: float = 5.0
+    # Fraction of the [low, high] span a single step may move.
+    max_step_fraction: float = 0.35
+
+    def validate(self) -> None:
+        if self.low <= 0 or self.high <= self.low:
+            raise ValueError("jitter requires 0 < low < high")
+        if self.period <= 0:
+            raise ValueError("jitter period must be positive")
+        if not 0 < self.max_step_fraction <= 1:
+            raise ValueError("max_step_fraction must be in (0, 1]")
+
+
+class BandwidthJitter:
+    """A simulation process that perturbs WAN link capacities over time."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fabric: NetworkFabric,
+        links: Iterable[Link],
+        spec: JitterSpec,
+        randomness: Optional[RandomSource] = None,
+        require_wan_flag: bool = True,
+    ) -> None:
+        """``require_wan_flag`` keeps the default behaviour of touching
+        only links marked ``is_wan``; pass False to jitter an explicit
+        link list (e.g. region gateway links)."""
+        spec.validate()
+        self.sim = sim
+        self.fabric = fabric
+        if require_wan_flag:
+            self.links = [link for link in links if link.is_wan]
+        else:
+            self.links = list(links)
+        self.spec = spec
+        self.randomness = randomness if randomness is not None else RandomSource(0)
+        self._running = False
+
+    def start(self) -> None:
+        """Initialise capacities and begin the periodic resampling loop."""
+        if self._running:
+            return
+        self._running = True
+        for link in self.links:
+            link.set_capacity(
+                self.randomness.uniform(
+                    f"jitter:init:{link.name}", self.spec.low, self.spec.high
+                )
+            )
+        self.sim.spawn(self._loop(), name="bandwidth-jitter")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        span = self.spec.high - self.spec.low
+        max_step = span * self.spec.max_step_fraction
+        while self._running:
+            yield self.sim.timeout(self.spec.period)
+            if not self._running:
+                return
+            for link in self.links:
+                target = self.randomness.uniform(
+                    f"jitter:target:{link.name}", self.spec.low, self.spec.high
+                )
+                delta = target - link.capacity
+                if delta > max_step:
+                    delta = max_step
+                elif delta < -max_step:
+                    delta = -max_step
+                new_capacity = min(
+                    self.spec.high, max(self.spec.low, link.capacity + delta)
+                )
+                link.set_capacity(new_capacity)
+            self.fabric.notify_capacity_change()
+
+
+class StaticBandwidth:
+    """Pin every WAN link to a fixed capacity (used for deterministic tests)."""
+
+    def __init__(self, links: Iterable[Link], capacity: float) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        for link in links:
+            link.set_capacity(capacity)

@@ -1,0 +1,243 @@
+"""Network topology: datacenters, hosts, and directed links.
+
+The topology mirrors the paper's deployment (Fig. 6): a handful of
+datacenters, each containing a few hosts.  Within a datacenter every host
+has a full-duplex access link (modelled as separate *uplink* and
+*downlink*) of roughly 1 Gbps.  Every ordered pair of datacenters is
+connected by a dedicated WAN link whose capacity is much smaller (80–300
+Mbps in the paper's measurements) and may fluctuate over time.
+
+A route between two hosts is the ordered list of links a flow traverses:
+
+* same host: no links (the fabric completes such transfers immediately);
+* same datacenter: ``[src.uplink, dst.downlink]``;
+* different datacenters: ``[src.uplink, wan(src_dc, dst_dc), dst.downlink]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, NoRouteError, UnknownHostError
+
+# Unit helpers ---------------------------------------------------------------
+GBPS = 1_000_000_000 / 8.0  # bytes per second in one gigabit per second
+MBPS = 1_000_000 / 8.0  # bytes per second in one megabit per second
+
+
+class Link:
+    """A directed link with a (mutable) capacity in bytes/second."""
+
+    __slots__ = ("name", "capacity", "base_capacity", "latency", "is_wan")
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float,
+        latency: float = 0.0,
+        is_wan: bool = False,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"link {name}: capacity must be > 0")
+        if latency < 0:
+            raise ConfigurationError(f"link {name}: latency must be >= 0")
+        self.name = name
+        self.capacity = float(capacity)
+        self.base_capacity = float(capacity)
+        self.latency = float(latency)
+        self.is_wan = is_wan
+
+    def set_capacity(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"link {self.name}: capacity must be > 0")
+        self.capacity = float(capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.name} {self.capacity * 8 / 1e6:.0f} Mbps>"
+
+
+class Datacenter:
+    """A named datacenter holding a set of hosts.
+
+    ``wan_in`` / ``wan_out`` are optional *gateway* links modelling the
+    region's shared WAN border capacity: every flow entering (leaving)
+    the datacenter crosses them in addition to its pair link, so a
+    region's aggregate WAN throughput is bounded even when many distinct
+    remote regions are involved.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.hosts: List["Host"] = []
+        self.wan_in: Optional[Link] = None
+        self.wan_out: Optional[Link] = None
+
+    @property
+    def host_names(self) -> List[str]:
+        return [host.name for host in self.hosts]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Datacenter {self.name} hosts={len(self.hosts)}>"
+
+
+class Host:
+    """A worker machine: access links plus identity within a datacenter."""
+
+    def __init__(self, name: str, datacenter: Datacenter, uplink: Link, downlink: Link) -> None:
+        self.name = name
+        self.datacenter = datacenter
+        self.uplink = uplink
+        self.downlink = downlink
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.name}@{self.datacenter.name}>"
+
+
+class Topology:
+    """The full network graph plus route computation."""
+
+    def __init__(self) -> None:
+        self.datacenters: Dict[str, Datacenter] = {}
+        self.hosts: Dict[str, Host] = {}
+        self._wan_links: Dict[Tuple[str, str], Link] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_datacenter(self, name: str) -> Datacenter:
+        if name in self.datacenters:
+            raise ConfigurationError(f"duplicate datacenter {name!r}")
+        datacenter = Datacenter(name)
+        self.datacenters[name] = datacenter
+        return datacenter
+
+    def add_host(
+        self,
+        name: str,
+        datacenter_name: str,
+        access_bandwidth: float = 1.0 * GBPS,
+        access_latency: float = 0.0005,
+    ) -> Host:
+        """Add a host with symmetric access links into ``datacenter_name``."""
+        if name in self.hosts:
+            raise ConfigurationError(f"duplicate host {name!r}")
+        if datacenter_name not in self.datacenters:
+            raise UnknownHostError(f"unknown datacenter {datacenter_name!r}")
+        datacenter = self.datacenters[datacenter_name]
+        uplink = Link(f"{name}:up", access_bandwidth, access_latency)
+        downlink = Link(f"{name}:down", access_bandwidth, access_latency)
+        host = Host(name, datacenter, uplink, downlink)
+        datacenter.hosts.append(host)
+        self.hosts[name] = host
+        return host
+
+    def connect_datacenters(
+        self,
+        src_name: str,
+        dst_name: str,
+        bandwidth: float,
+        latency: float = 0.05,
+        symmetric: bool = True,
+    ) -> None:
+        """Install WAN link(s) between two datacenters."""
+        for missing in (src_name, dst_name):
+            if missing not in self.datacenters:
+                raise UnknownHostError(f"unknown datacenter {missing!r}")
+        if src_name == dst_name:
+            raise ConfigurationError("cannot connect a datacenter to itself")
+        self._wan_links[(src_name, dst_name)] = Link(
+            f"wan:{src_name}->{dst_name}", bandwidth, latency, is_wan=True
+        )
+        if symmetric:
+            self._wan_links[(dst_name, src_name)] = Link(
+                f"wan:{dst_name}->{src_name}", bandwidth, latency, is_wan=True
+            )
+
+    def set_gateway(
+        self, datacenter_name: str, bandwidth: float, latency: float = 0.0
+    ) -> None:
+        """Install shared WAN ingress/egress gateway links for a DC."""
+        if datacenter_name not in self.datacenters:
+            raise UnknownHostError(f"unknown datacenter {datacenter_name!r}")
+        datacenter = self.datacenters[datacenter_name]
+        datacenter.wan_out = Link(
+            f"gw:{datacenter_name}:out", bandwidth, latency, is_wan=False
+        )
+        datacenter.wan_in = Link(
+            f"gw:{datacenter_name}:in", bandwidth, latency, is_wan=False
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        try:
+            return self.hosts[name]
+        except KeyError:
+            raise UnknownHostError(f"unknown host {name!r}") from None
+
+    def datacenter_of(self, host_name: str) -> str:
+        return self.host(host_name).datacenter.name
+
+    def wan_link(self, src_dc: str, dst_dc: str) -> Link:
+        try:
+            return self._wan_links[(src_dc, dst_dc)]
+        except KeyError:
+            raise NoRouteError(
+                f"no WAN link from {src_dc!r} to {dst_dc!r}"
+            ) from None
+
+    def wan_links(self) -> Iterable[Link]:
+        return self._wan_links.values()
+
+    def route(self, src_host: str, dst_host: str) -> List[Link]:
+        """The ordered list of links a flow from src to dst traverses."""
+        src = self.host(src_host)
+        dst = self.host(dst_host)
+        if src is dst:
+            return []
+        if src.datacenter is dst.datacenter:
+            return [src.uplink, dst.downlink]
+        wan = self.wan_link(src.datacenter.name, dst.datacenter.name)
+        links = [src.uplink]
+        if src.datacenter.wan_out is not None:
+            links.append(src.datacenter.wan_out)
+        links.append(wan)
+        if dst.datacenter.wan_in is not None:
+            links.append(dst.datacenter.wan_in)
+        links.append(dst.downlink)
+        return links
+
+    def route_latency(self, src_host: str, dst_host: str) -> float:
+        return sum(link.latency for link in self.route(src_host, dst_host))
+
+    def is_cross_datacenter(self, src_host: str, dst_host: str) -> bool:
+        return self.datacenter_of(src_host) != self.datacenter_of(dst_host)
+
+    def all_host_names(self) -> List[str]:
+        return list(self.hosts)
+
+    def hosts_in(self, datacenter_name: str) -> List[str]:
+        if datacenter_name not in self.datacenters:
+            raise UnknownHostError(f"unknown datacenter {datacenter_name!r}")
+        return self.datacenters[datacenter_name].host_names
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the topology is fully connected at the WAN level."""
+        names = list(self.datacenters)
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                if (src, dst) not in self._wan_links:
+                    raise ConfigurationError(
+                        f"missing WAN link {src!r} -> {dst!r}"
+                    )
+        for datacenter in self.datacenters.values():
+            if not datacenter.hosts:
+                raise ConfigurationError(
+                    f"datacenter {datacenter.name!r} has no hosts"
+                )

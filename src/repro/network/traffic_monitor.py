@@ -1,0 +1,70 @@
+"""Traffic accounting, most importantly cross-datacenter bytes (Fig. 8).
+
+The monitor is deliberately passive: the fabric reports every finished
+flow, and the monitor aggregates by datacenter pair and by caller-supplied
+tag (e.g. ``"shuffle"``, ``"transfer_to"``, ``"input"``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+MB = 1_000_000.0
+
+
+class TrafficMonitor:
+    """Aggregates transferred bytes by datacenter pair and by tag."""
+
+    def __init__(self) -> None:
+        self.total_bytes = 0.0
+        self.cross_dc_bytes = 0.0
+        self.by_pair: Dict[Tuple[str, str], float] = defaultdict(float)
+        self.by_tag: Dict[str, float] = defaultdict(float)
+        self.cross_dc_by_tag: Dict[str, float] = defaultdict(float)
+        self.flow_count = 0
+
+    def record(self, src_dc: str, dst_dc: str, size_bytes: float, tag: str = "") -> None:
+        """Account one finished flow."""
+        self.flow_count += 1
+        self.total_bytes += size_bytes
+        self.by_pair[(src_dc, dst_dc)] += size_bytes
+        if tag:
+            self.by_tag[tag] += size_bytes
+        if src_dc != dst_dc:
+            self.cross_dc_bytes += size_bytes
+            if tag:
+                self.cross_dc_by_tag[tag] += size_bytes
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    @property
+    def cross_dc_megabytes(self) -> float:
+        return self.cross_dc_bytes / MB
+
+    def cross_dc_bytes_from(self, datacenter: str) -> float:
+        return sum(
+            size
+            for (src, dst), size in self.by_pair.items()
+            if src == datacenter and dst != datacenter
+        )
+
+    def cross_dc_bytes_into(self, datacenter: str) -> float:
+        return sum(
+            size
+            for (src, dst), size in self.by_pair.items()
+            if dst == datacenter and src != datacenter
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat summary used by the experiment harness."""
+        return {
+            "total_bytes": self.total_bytes,
+            "cross_dc_bytes": self.cross_dc_bytes,
+            "cross_dc_megabytes": self.cross_dc_megabytes,
+            "flow_count": float(self.flow_count),
+        }
+
+    def reset(self) -> None:
+        self.__init__()

@@ -1,0 +1,69 @@
+"""The RDD engine: lazy, lineage-tracked, partitioned datasets.
+
+This package reimplements the subset of Spark's RDD model the paper's
+mechanism operates on:
+
+* lazy transformations building a lineage DAG
+  (:mod:`repro.rdd.rdd`, :mod:`repro.rdd.shuffled`),
+* narrow vs. shuffle vs. *transfer* dependencies
+  (:mod:`repro.rdd.dependencies`) — the transfer dependency is the
+  paper's contribution, a stage boundary that moves data instead of
+  sharding it,
+* hash and range partitioners (:mod:`repro.rdd.partitioner`),
+* logical-size estimation so scaled-down record counts still represent
+  paper-scale byte volumes (:mod:`repro.rdd.size_estimator`).
+
+Execution is *not* here: the DAG/task schedulers in
+:mod:`repro.scheduler` walk the lineage and run tasks on the simulator.
+"""
+
+from repro.rdd.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.rdd.size_estimator import SizeEstimator
+from repro.rdd.dependencies import (
+    Dependency,
+    NarrowDependency,
+    RangeDependency,
+    ShuffleDependency,
+    TransferDependency,
+)
+from repro.rdd.aggregator import Aggregator
+from repro.rdd.rdd import (
+    RDD,
+    HadoopRDD,
+    MappedRDD,
+    FlatMappedRDD,
+    FilteredRDD,
+    MapPartitionsRDD,
+    UnionRDD,
+)
+from repro.rdd.shuffled import CoGroupedRDD, ShuffledRDD
+from repro.rdd.transferred import TransferredRDD
+from repro.rdd.extra_ops import install_extra_ops
+
+# Extended Spark-style operations (coalesce, sample, aggregate_by_key,
+# combine_by_key, count_by_key, reduce, take, first, sort_by,
+# zip_with_index) are attached to RDD here.
+install_extra_ops()
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "RangePartitioner",
+    "SizeEstimator",
+    "Dependency",
+    "NarrowDependency",
+    "RangeDependency",
+    "ShuffleDependency",
+    "TransferDependency",
+    "Aggregator",
+    "RDD",
+    "HadoopRDD",
+    "MappedRDD",
+    "FlatMappedRDD",
+    "FilteredRDD",
+    "MapPartitionsRDD",
+    "UnionRDD",
+    "ShuffledRDD",
+    "CoGroupedRDD",
+    "TransferredRDD",
+]

@@ -1,0 +1,85 @@
+"""Key-value aggregation used by combiners and reduce-side merging.
+
+Mirrors Spark's ``Aggregator[K, V, C]``: a combiner is created from the
+first value for a key, extended with further values, and combiners from
+different map tasks (or a pre-combined transfer) are merged together.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Tuple
+
+Key = Any
+Value = Any
+Combiner = Any
+
+
+class Aggregator:
+    """create/merge functions for combine-by-key semantics."""
+
+    def __init__(
+        self,
+        create_combiner: Callable[[Value], Combiner],
+        merge_value: Callable[[Combiner, Value], Combiner],
+        merge_combiners: Callable[[Combiner, Combiner], Combiner],
+    ) -> None:
+        self.create_combiner = create_combiner
+        self.merge_value = merge_value
+        self.merge_combiners = merge_combiners
+
+    # ------------------------------------------------------------------
+    # Bulk operations used by the shuffle machinery
+    # ------------------------------------------------------------------
+    def combine_values(
+        self, records: Iterable[Tuple[Key, Value]]
+    ) -> List[Tuple[Key, Combiner]]:
+        """Map-side combine: fold raw (k, v) records into (k, combiner)."""
+        combined: Dict[Key, Combiner] = {}
+        for key, value in records:
+            if key in combined:
+                combined[key] = self.merge_value(combined[key], value)
+            else:
+                combined[key] = self.create_combiner(value)
+        return list(combined.items())
+
+    def combine_combiners(
+        self, records: Iterable[Tuple[Key, Combiner]]
+    ) -> List[Tuple[Key, Combiner]]:
+        """Reduce-side merge of already-combined (k, combiner) records."""
+        merged: Dict[Key, Combiner] = {}
+        for key, combiner in records:
+            if key in merged:
+                merged[key] = self.merge_combiners(merged[key], combiner)
+            else:
+                merged[key] = combiner
+        return list(merged.items())
+
+    @classmethod
+    def from_reduce_function(
+        cls, func: Callable[[Value, Value], Value]
+    ) -> "Aggregator":
+        """The reduceByKey aggregator: combiner type == value type."""
+        return cls(
+            create_combiner=lambda value: value,
+            merge_value=func,
+            merge_combiners=func,
+        )
+
+    @classmethod
+    def group_by_key(cls) -> "Aggregator":
+        """The groupByKey aggregator: combiner is a list of values."""
+        return cls(
+            create_combiner=lambda value: [value],
+            merge_value=_append,
+            merge_combiners=_extend,
+        )
+
+
+def _append(acc: List[Value], value: Value) -> List[Value]:
+    acc.append(value)
+    return acc
+
+
+def _extend(left: List[Value], right: List[Value]) -> List[Value]:
+    left.extend(right)
+    return left

@@ -1,0 +1,101 @@
+"""Shuffle-consuming RDDs: the reduce side of a shuffle boundary.
+
+:class:`ShuffledRDD` covers groupByKey / reduceByKey / sortByKey /
+partitionBy, differing only in aggregator and ordering.
+:class:`CoGroupedRDD` consumes two shuffles at once and underlies
+``join``/``cogroup``.
+
+Both obtain their input through ``runtime.shuffle_read``, which performs
+the actual (fetch-based or push-aggregated) data movement — the RDD layer
+is agnostic to the mechanism, exactly as in the paper's design where
+``transferTo`` changes *where shuffle input lives*, not what reducers do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.rdd.aggregator import Aggregator
+from repro.rdd.dependencies import ShuffleDependency
+from repro.rdd.partitioner import Partitioner
+from repro.rdd.rdd import RDD
+
+
+class ShuffledRDD(RDD):
+    """The output of a single-parent shuffle."""
+
+    def __init__(
+        self,
+        parent: RDD,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator] = None,
+        map_side_combine: bool = False,
+        key_ordering: bool = False,
+        ascending: bool = True,
+        name: str = "shuffled",
+    ) -> None:
+        dependency = ShuffleDependency(
+            parent,
+            partitioner,
+            aggregator=aggregator,
+            map_side_combine=map_side_combine,
+            key_ordering=key_ordering,
+        )
+        super().__init__(parent.context, [dependency], name=name)
+        self.shuffle_dependency = dependency
+        self.partitioner = partitioner
+        self.ascending = ascending
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    def compute(self, index: int, runtime):
+        dep = self.shuffle_dependency
+        records = yield from runtime.shuffle_read(dep, index)
+        aggregator = dep.aggregator
+        if aggregator is not None:
+            if dep.map_side_combine:
+                # Shards arrive pre-combined; merge combiners across maps.
+                output = aggregator.combine_combiners(records)
+            else:
+                output = aggregator.combine_values(records)
+            yield from runtime.charge_combine(self, records)
+            return output
+        if dep.key_ordering:
+            yield from runtime.charge_sort(self, records)
+            return sorted(
+                records, key=lambda kv: kv[0], reverse=not self.ascending
+            )
+        yield from runtime.charge_combine(self, records)
+        return list(records)
+
+
+class CoGroupedRDD(RDD):
+    """Groups two keyed RDDs by key: (k, ([left values], [right values]))."""
+
+    def __init__(
+        self, left: RDD, right: RDD, partitioner: Partitioner
+    ) -> None:
+        left_dep = ShuffleDependency(left, partitioner)
+        right_dep = ShuffleDependency(right, partitioner)
+        super().__init__(left.context, [left_dep, right_dep], name="cogroup")
+        self.left_dependency = left_dep
+        self.right_dependency = right_dep
+        self.partitioner = partitioner
+
+    @property
+    def num_partitions(self) -> int:
+        return self.partitioner.num_partitions
+
+    def compute(self, index: int, runtime):
+        left_records = yield from runtime.shuffle_read(self.left_dependency, index)
+        right_records = yield from runtime.shuffle_read(self.right_dependency, index)
+        yield from runtime.charge_combine(self, left_records)
+        yield from runtime.charge_combine(self, right_records)
+        groups: Dict[Any, Tuple[List[Any], List[Any]]] = {}
+        for key, value in left_records:
+            groups.setdefault(key, ([], []))[0].append(value)
+        for key, value in right_records:
+            groups.setdefault(key, ([], []))[1].append(value)
+        return list(groups.items())

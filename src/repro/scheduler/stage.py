@@ -1,0 +1,226 @@
+"""Stage decomposition of a lineage graph.
+
+A *stage* is a maximal narrow-dependency-connected subgraph, exactly as
+in Spark, with one extension from the paper: :class:`TransferDependency`
+is also a stage boundary.  Three stage kinds result:
+
+* ``SHUFFLE_MAP`` — the stage's root RDD feeds a shuffle; tasks end with
+  a sharded shuffle write.
+* ``TRANSFER_PRODUCER`` — the root feeds a ``transfer_to`` boundary;
+  tasks end by staging the whole partition at the producing host, ready
+  for a receiver task to pull.
+* ``RESULT`` — the final stage; tasks apply the job's action.
+
+A stage whose in-stage chain contains a
+:class:`~repro.rdd.transferred.TransferredRDD` is a *receiver stage*: its
+tasks prefer the aggregator datacenter and are unlocked per-partition as
+producer tasks finish (no barrier), which is what pipelines WAN pushes
+with map execution.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.errors import LineageError
+from repro.rdd.dependencies import (
+    NarrowDependency,
+    RangeDependency,
+    ShuffleDependency,
+    TransferDependency,
+)
+from repro.rdd.rdd import RDD
+from repro.rdd.transferred import TransferredRDD
+
+_stage_ids = itertools.count()
+
+
+class StageKind(enum.Enum):
+    SHUFFLE_MAP = "shuffle_map"
+    TRANSFER_PRODUCER = "transfer_producer"
+    RESULT = "result"
+
+
+BoundaryDep = Union[ShuffleDependency, TransferDependency]
+
+
+class Stage:
+    """One schedulable stage of a job."""
+
+    def __init__(
+        self,
+        rdd: RDD,
+        kind: StageKind,
+        outgoing_dep: Optional[BoundaryDep],
+    ) -> None:
+        self.stage_id = next(_stage_ids)
+        self.rdd = rdd
+        self.kind = kind
+        # The boundary dependency this stage's output feeds (None for RESULT).
+        self.outgoing_dep = outgoing_dep
+        # Parent stages, discovered while walking the in-stage subgraph.
+        self.parents: List[Stage] = []
+        # Shuffle dependencies whose output this stage's tasks read.
+        self.boundary_shuffle_deps: List[ShuffleDependency] = []
+        # TransferredRDDs inside this stage (receiver semantics), paired
+        # with the producer stage feeding each.
+        self.transfer_inputs: List[Tuple[TransferredRDD, "Stage"]] = []
+        # True once pre-combine already happened before the transfer, so
+        # the shuffle write must merge combiners rather than values.
+        self.combine_done = False
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        return self.rdd.num_partitions
+
+    @property
+    def is_receiver_stage(self) -> bool:
+        return bool(self.transfer_inputs)
+
+    @property
+    def reads_shuffle(self) -> bool:
+        return bool(self.boundary_shuffle_deps)
+
+    @property
+    def name(self) -> str:
+        return f"stage{self.stage_id}:{self.kind.value}:{self.rdd.name}"
+
+    def required_transfers(self, partition: int) -> List[Tuple["Stage", int]]:
+        """(producer stage, producer partition) pairs gating this task.
+
+        Walks the in-stage narrow chain translating partition indices so
+        union offsets are honoured.
+        """
+        required: List[Tuple[Stage, int]] = []
+        producer_by_transfer = {
+            transferred.transfer_dependency.transfer_id: producer
+            for transferred, producer in self.transfer_inputs
+        }
+
+        def visit(rdd: RDD, index: int) -> None:
+            for dep in rdd.dependencies:
+                if isinstance(dep, TransferDependency):
+                    producer = producer_by_transfer.get(dep.transfer_id)
+                    if producer is not None:
+                        required.append((producer, index))
+                elif isinstance(dep, NarrowDependency):
+                    if isinstance(dep, RangeDependency) and not dep.covers(index):
+                        continue  # a union branch not owning this partition
+                    visit(dep.parent, dep.parent_partition(index))
+
+        visit(self.rdd, partition)
+        return required
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.name} partitions={self.num_partitions}>"
+
+
+def build_stages(final_rdd: RDD) -> Tuple[Stage, List[Stage]]:
+    """Build the stage DAG for a job ending at ``final_rdd``.
+
+    Returns ``(result_stage, all_stages)`` with ``all_stages`` in a
+    parents-before-children topological order.  Stages for the same
+    shuffle/transfer dependency are shared (important for cogroup and for
+    diamond lineages).
+    """
+    stages_by_shuffle: Dict[int, Stage] = {}
+    stages_by_transfer: Dict[int, Stage] = {}
+    all_stages: List[Stage] = []
+
+    def stage_for_boundary(dep: BoundaryDep) -> Stage:
+        if isinstance(dep, ShuffleDependency):
+            existing = stages_by_shuffle.get(dep.shuffle_id)
+            if existing is not None:
+                return existing
+            stage = _new_stage(dep.parent, StageKind.SHUFFLE_MAP, dep)
+            stages_by_shuffle[dep.shuffle_id] = stage
+            return stage
+        existing = stages_by_transfer.get(dep.transfer_id)
+        if existing is not None:
+            return existing
+        stage = _new_stage(dep.parent, StageKind.TRANSFER_PRODUCER, dep)
+        stages_by_transfer[dep.transfer_id] = stage
+        return stage
+
+    def _new_stage(
+        rdd: RDD, kind: StageKind, outgoing: Optional[BoundaryDep]
+    ) -> Stage:
+        stage = Stage(rdd, kind, outgoing)
+        _populate(stage)
+        all_stages.append(stage)
+        return stage
+
+    def _populate(stage: Stage) -> None:
+        """Walk the in-stage narrow subgraph, wiring boundaries."""
+        visited: Set[int] = set()
+
+        def visit(rdd: RDD) -> None:
+            if rdd.rdd_id in visited:
+                return
+            visited.add(rdd.rdd_id)
+            if isinstance(rdd, TransferredRDD):
+                producer = stage_for_boundary(rdd.transfer_dependency)
+                stage.transfer_inputs.append((rdd, producer))
+                if producer not in stage.parents:
+                    stage.parents.append(producer)
+                return  # boundary: do not walk past the transfer
+            for dep in rdd.dependencies:
+                if isinstance(dep, ShuffleDependency):
+                    stage.boundary_shuffle_deps.append(dep)
+                    parent = stage_for_boundary(dep)
+                    if parent not in stage.parents:
+                        stage.parents.append(parent)
+                elif isinstance(dep, TransferDependency):
+                    # Reached only via a TransferredRDD, handled above.
+                    raise LineageError(
+                        "TransferDependency outside a TransferredRDD"
+                    )
+                else:
+                    visit(dep.parent)
+
+        visit(stage.rdd)
+        _mark_combine_done(stage)
+
+    def _mark_combine_done(stage: Stage) -> None:
+        """Detect pre-combined transfers feeding this stage's shuffle write.
+
+        When the stage is exactly ``TransferredRDD -> shuffle`` and the
+        transfer carried a ``pre_combine``, map-side combine already
+        happened at the producer (paper §IV-C-3) and the shuffle write
+        must merge combiners instead of raw values.
+        """
+        if (
+            stage.kind is StageKind.SHUFFLE_MAP
+            and isinstance(stage.rdd, TransferredRDD)
+            and stage.rdd.transfer_dependency.pre_combine is not None
+        ):
+            stage.combine_done = True
+
+    result_stage = _new_stage(final_rdd, StageKind.RESULT, None)
+    ordered = _topological(all_stages)
+    return result_stage, ordered
+
+
+def _topological(stages: List[Stage]) -> List[Stage]:
+    """Parents-before-children order; detects accidental cycles."""
+    order: List[Stage] = []
+    state: Dict[int, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(stage: Stage) -> None:
+        mark = state.get(stage.stage_id)
+        if mark == 1:
+            return
+        if mark == 0:
+            raise LineageError("cycle detected in stage graph")
+        state[stage.stage_id] = 0
+        for parent in stage.parents:
+            visit(parent)
+        state[stage.stage_id] = 1
+        order.append(stage)
+
+    for stage in stages:
+        visit(stage)
+    return order

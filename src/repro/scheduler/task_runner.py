@@ -1,0 +1,189 @@
+"""TaskRunner: the body of a task attempt, with retries and failures.
+
+Drives one task end to end on a chosen host:
+
+1. launch overhead;
+2. materialise the stage's root partition via a fresh
+   :class:`~repro.scheduler.task_runtime.TaskRuntime` (this performs all
+   reads, transfers, and CPU charges);
+3. (optional) injected failure for shuffle-reading tasks — the attempt's
+   work is lost and step 2 repeats, re-fetching shuffle input exactly as
+   a relaunched Spark reducer would (paper Fig. 2);
+4. finalise: sharded shuffle write, transfer staging, or the job action.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.errors import TaskFailedError
+from repro.rdd.dependencies import ShuffleDependency, TransferDependency
+from repro.scheduler.stage import StageKind
+from repro.scheduler.task import Task, TaskResult
+from repro.scheduler.task_runtime import TaskRuntime
+from repro.shuffle.map_output_tracker import MapStatus
+from repro.shuffle.stores import ShuffleShard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.context import ClusterContext
+
+
+class TaskRunner:
+    """Executes tasks for one cluster context."""
+
+    def __init__(self, context: "ClusterContext") -> None:
+        self.context = context
+
+    # The signature TaskScheduler expects: a generator -> TaskResult.
+    def run(self, task: Task, host: str):
+        context = self.context
+        sim = context.sim
+        started = sim.now
+        overhead = context.config.cost.task_launch_overhead
+        if overhead > 0:
+            yield sim.timeout(overhead)
+
+        max_attempts = context.config.scheduling.max_task_attempts
+        refetched = 0.0
+        runtime = None
+        records: List = []
+        while True:
+            task.attempts += 1
+            if task.attempts > max_attempts:
+                raise TaskFailedError(task.task_id, task.attempts - 1)
+            runtime = TaskRuntime(context, task, host)
+            runtime.slowdown = context.failure_injector.straggler_slowdown(task)
+            records = yield from runtime.materialize(
+                task.stage.rdd, task.partition
+            )
+            if task.attempts > 1:
+                refetched += runtime.shuffle_bytes_fetched
+            if task.stage.reads_shuffle and context.failure_injector.should_fail(task):
+                context.metrics.on_task_attempt_failed(task, host, sim.now)
+                continue
+            break
+
+        output_bytes = 0.0
+        result_records = None
+        if task.stage.kind is StageKind.SHUFFLE_MAP:
+            output_bytes = yield from self._shuffle_write(
+                runtime, task, host, records
+            )
+        elif task.stage.kind is StageKind.TRANSFER_PRODUCER:
+            output_bytes = yield from self._stage_transfer_partition(
+                runtime, task, host, records
+            )
+        else:
+            result_records = yield from self._apply_action(
+                runtime, task, host, records
+            )
+
+        return TaskResult(
+            task=task,
+            host=host,
+            started_at=started,
+            finished_at=sim.now,
+            attempts=task.attempts,
+            records=result_records,
+            shuffle_bytes_fetched=runtime.shuffle_bytes_fetched,
+            shuffle_bytes_refetched=refetched,
+            output_bytes=output_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    # Finalisers
+    # ------------------------------------------------------------------
+    def _shuffle_write(self, runtime: TaskRuntime, task: Task, host: str, records):
+        """Shard (and maybe combine) records, write them, register output."""
+        stage = task.stage
+        dep = stage.outgoing_dep
+        assert isinstance(dep, ShuffleDependency)
+        runtime.ensure_pairs(records, "shuffle write")
+        num_reduces = dep.partitioner.num_partitions
+        shard_lists: List[List] = [[] for _ in range(num_reduces)]
+        for record in records:
+            shard_lists[dep.partitioner.partition(record[0])].append(record)
+        if dep.aggregator is not None and dep.map_side_combine:
+            if stage.combine_done:
+                # Pre-combined before the transfer (§IV-C-3): only merge
+                # combiners that collided across the partition.
+                shard_lists = [
+                    dep.aggregator.combine_combiners(shard)
+                    for shard in shard_lists
+                ]
+            else:
+                shard_lists = [
+                    dep.aggregator.combine_values(shard)
+                    for shard in shard_lists
+                ]
+            yield from runtime.charge_combine(stage.rdd, records)
+        estimator = self.context.estimator
+        shards = [
+            ShuffleShard(records=shard, size_bytes=estimator.estimate(shard))
+            for shard in shard_lists
+        ]
+        total_bytes = sum(shard.size_bytes for shard in shards)
+        yield from runtime.charge_shuffle_write(total_bytes)
+        yield from runtime.charge_disk_write(total_bytes)
+        self.context.shuffle_store.put_map_output(
+            dep.shuffle_id, task.partition, host, shards
+        )
+        self.context.map_output_tracker.register_map_output(
+            dep.shuffle_id,
+            MapStatus(
+                map_index=task.partition,
+                host=host,
+                shard_sizes=[shard.size_bytes for shard in shards],
+            ),
+        )
+        return total_bytes
+
+    def _stage_transfer_partition(
+        self, runtime: TaskRuntime, task: Task, host: str, records
+    ):
+        """Stage the whole partition at this host for a receiver pull.
+
+        Applies the pre-transfer combine when requested; skips the disk
+        write entirely — pushed data leaves from memory (§IV-B:
+        "unnecessary disk I/O is avoided").
+        """
+        stage = task.stage
+        dep = stage.outgoing_dep
+        assert isinstance(dep, TransferDependency)
+        if dep.pre_combine is not None:
+            runtime.ensure_pairs(records, "pre-transfer combine")
+            yield from runtime.charge_combine(stage.rdd, records)
+            records = dep.pre_combine.combine_values(records)
+        size = self.context.estimator.estimate(records)
+        self.context.transfer_tracker.stage_partition(
+            dep.transfer_id, task.partition, host, list(records), size
+        )
+        return size
+
+    def _apply_action(self, runtime: TaskRuntime, task: Task, host: str, records):
+        """Execute the result-stage action for this partition."""
+        context = self.context
+        action = task.action or "collect"
+        if action == "collect":
+            size = context.estimator.estimate(records)
+            yield context.fabric.transfer(
+                host, context.driver_host, size, tag="result"
+            )
+            return list(records)
+        if action == "count":
+            yield context.fabric.transfer(
+                host, context.driver_host, 8.0, tag="result"
+            )
+            return [len(records)]
+        if action == "save":
+            size = context.estimator.estimate(records)
+            yield from runtime.charge_disk_write(size)
+            path = task.stage.save_path  # type: ignore[attr-defined]
+            context.dfs.write_file(
+                f"{path}/part-{task.partition:05d}",
+                [records],
+                [size],
+                placement_hosts=[host],
+            )
+            return [size]
+        raise TaskFailedError(task.task_id, task.attempts, f"unknown action {action!r}")

@@ -1,0 +1,203 @@
+"""TaskRuntime: the execution engine running *inside* one task attempt.
+
+Every ``RDD.compute`` generator receives a TaskRuntime and uses it to
+
+* materialise parent partitions (``materialize``), which recurses through
+  narrow dependencies, consults the cache, and stops at stage boundaries;
+* read input blocks (``read_input_block``): local replicas cost disk
+  time, remote replicas a network flow (closest replica wins);
+* read shuffle input (``shuffle_read``): all shards are fetched with
+  *concurrent* flows — the bursty all-to-all pattern of §II-B — while
+  host-local shards cost only disk time.  In push mode the tracker simply
+  points at receiver hosts, so the identical code becomes a mostly
+  datacenter-local read;
+* pull a staged transfer partition (``transfer_read``): a single flow
+  from the origin host, a no-op when the partition is already local;
+* charge operator CPU/sort time from logical byte volumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, TYPE_CHECKING
+
+from repro.errors import RDDError
+from repro.rdd.dependencies import ShuffleDependency, TransferDependency
+from repro.rdd.rdd import RDD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.context import ClusterContext
+    from repro.scheduler.task import Task
+
+
+class TaskRuntime:
+    """Per-attempt execution context bound to one host."""
+
+    def __init__(self, context: "ClusterContext", task: "Task", host: str) -> None:
+        self.context = context
+        self.task = task
+        self.host = host
+        self.sim = context.sim
+        # Multiplies CPU charges; >1 models a straggling attempt.
+        self.slowdown = 1.0
+        # Metrics accumulated over this attempt.
+        self.shuffle_bytes_fetched = 0.0
+        self.bytes_read_local = 0.0
+        self.bytes_transferred_in = 0.0
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def materialize(self, rdd: RDD, index: int):
+        """Produce the records of ``rdd`` partition ``index`` (generator)."""
+        cache = self.context.cache
+        if rdd.cached:
+            entry = cache.lookup(rdd.rdd_id, index)
+            if entry is not None:
+                if entry.host != self.host:
+                    yield self.context.fabric.transfer(
+                        entry.host, self.host, entry.size_bytes, tag="cache"
+                    )
+                    self.bytes_transferred_in += entry.size_bytes
+                return list(entry.records)
+        records = yield from rdd.compute(index, self)
+        if rdd.cached:
+            size = self.context.estimator.estimate(records)
+            cache.put(rdd.rdd_id, index, self.host, list(records), size)
+        return records
+
+    # ------------------------------------------------------------------
+    # Data sources
+    # ------------------------------------------------------------------
+    def read_input_block(self, block_id: str):
+        """Read a DFS block, preferring local then same-DC replicas."""
+        dfs = self.context.dfs
+        topology = self.context.topology
+        locations = dfs.block_locations(block_id)
+        block = dfs.read_block(block_id, from_host=self.host)
+        if self.host in locations:
+            yield self.sim.timeout(
+                self.context.config.disk.read_time(block.size_bytes)
+            )
+            self.bytes_read_local += block.size_bytes
+            return list(block.records)
+        my_dc = topology.datacenter_of(self.host)
+        same_dc = [
+            host for host in locations
+            if topology.datacenter_of(host) == my_dc
+        ]
+        source = same_dc[0] if same_dc else locations[0]
+        yield self.context.fabric.transfer(
+            source, self.host, block.size_bytes, tag="input"
+        )
+        self.bytes_transferred_in += block.size_bytes
+        return list(block.records)
+
+    def read_driver_data(self, records: List[Any]):
+        """Ship parallelized driver data to this task's host."""
+        size = self.context.estimator.estimate(records)
+        yield self.context.fabric.transfer(
+            self.context.driver_host, self.host, size, tag="driver"
+        )
+        return list(records)
+
+    def shuffle_read(self, dep: ShuffleDependency, reduce_index: int):
+        """Fetch this reducer's shards from every map output location."""
+        tracker = self.context.map_output_tracker
+        store = self.context.shuffle_store
+        statuses = tracker.map_statuses(dep.shuffle_id)
+        records: List[Any] = []
+        flows = []
+        local_bytes = 0.0
+        for status in statuses:
+            shard = store.get_shard(
+                dep.shuffle_id, status.map_index, reduce_index
+            )
+            records.extend(shard.records)
+            if shard.size_bytes <= 0:
+                continue
+            if status.host == self.host:
+                local_bytes += shard.size_bytes
+            else:
+                flows.append(
+                    self.context.fabric.transfer(
+                        status.host, self.host, shard.size_bytes, tag="shuffle"
+                    )
+                )
+                self.shuffle_bytes_fetched += shard.size_bytes
+        if local_bytes > 0:
+            yield self.sim.timeout(
+                self.context.config.disk.read_time(local_bytes)
+            )
+            self.bytes_read_local += local_bytes
+        if flows:
+            yield self.sim.all_of(flows)
+        return records
+
+    def transfer_read(self, dep: TransferDependency, index: int):
+        """Pull a staged partition from its origin host (receiver task)."""
+        staged = self.context.transfer_tracker.get(dep.transfer_id, index)
+        if staged.host != self.host and staged.size_bytes > 0:
+            yield self.context.fabric.transfer(
+                staged.host, self.host, staged.size_bytes, tag="transfer_to"
+            )
+            self.bytes_transferred_in += staged.size_bytes
+        return list(staged.records)
+
+    # ------------------------------------------------------------------
+    # Time charging
+    # ------------------------------------------------------------------
+    def charge_operator(self, rdd: RDD, input_records: List[Any]):
+        """CPU time for one narrow/aggregation operator (generator)."""
+        size, count = self.context.estimator.estimate_with_count(input_records)
+        seconds = self.context.config.cost.compute_time(size, count)
+        seconds *= self.slowdown
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def charge_combine(self, rdd: RDD, input_records: List[Any]):
+        """Cheaper per-byte charge for in-memory merge/combine passes."""
+        size, count = self.context.estimator.estimate_with_count(input_records)
+        seconds = (
+            self.context.config.cost.combine_time(size, count) * self.slowdown
+        )
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def charge_shuffle_write(self, logical_bytes: float):
+        seconds = (
+            self.context.config.cost.shuffle_write_time(logical_bytes)
+            * self.slowdown
+        )
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def charge_sort(self, rdd: RDD, input_records: List[Any]):
+        size, count = self.context.estimator.estimate_with_count(input_records)
+        seconds = self.context.config.cost.sort_time(size, count) * self.slowdown
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def charge_cpu_bytes(self, logical_bytes: float):
+        seconds = (
+            self.context.config.cost.compute_time(logical_bytes) * self.slowdown
+        )
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    def charge_disk_write(self, logical_bytes: float):
+        seconds = self.context.config.disk.write_time(logical_bytes)
+        if seconds > 0:
+            yield self.sim.timeout(seconds)
+
+    # ------------------------------------------------------------------
+    def estimate(self, records: List[Any]) -> float:
+        return self.context.estimator.estimate(records)
+
+    def ensure_pairs(self, records: List[Any], operation: str) -> None:
+        """Shuffle operations need (key, value) tuples; fail loudly."""
+        for record in records[:1]:
+            if not (isinstance(record, tuple) and len(record) == 2):
+                raise RDDError(
+                    f"{operation} requires (key, value) records, got "
+                    f"{type(record).__name__}"
+                )

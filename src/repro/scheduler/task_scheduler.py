@@ -1,0 +1,238 @@
+"""Slot-based, locality-aware task scheduling (delay scheduling).
+
+Mirrors the Spark standalone behaviour the paper relies on:
+
+* every worker host is an :class:`Executor` with a fixed number of cores;
+* a task prefers specific hosts (``preferred_hosts``); it is placed there
+  immediately if a slot is free, falls back to a *same-datacenter* host
+  after ``locality_wait_host`` seconds, and to *any* host after an
+  additional ``locality_wait_datacenter`` seconds;
+* tasks with no preference run anywhere immediately, and free slots are
+  offered most-free-host first, spreading no-preference tasks across the
+  cluster — which is precisely how the stock scheduler scatters reducers
+  across datacenters when shuffle input is scattered (§II-B), and packs
+  them into the aggregator datacenter when it is not (§III-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import SchedulingConfig
+from repro.errors import NoEligibleExecutorError, SchedulerError
+from repro.network.topology import Topology
+from repro.scheduler.task import Task, TaskResult
+from repro.simulation.event import Event
+from repro.simulation.kernel import Simulator
+
+# Locality levels, smaller is better.
+_HOST_LOCAL = 0
+_DC_LOCAL = 1
+_ANY = 2
+
+# run_task(task, host) is a generator returning a TaskResult.
+TaskBody = Callable[[Task, str], object]
+
+
+class Executor:
+    """A worker host's slots."""
+
+    def __init__(self, host: str, cores: int) -> None:
+        if cores < 1:
+            raise SchedulerError(f"executor {host}: cores must be >= 1")
+        self.host = host
+        self.cores = cores
+        self.busy = 0
+        self.tasks_run = 0
+
+    @property
+    def free(self) -> int:
+        return self.cores - self.busy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Executor {self.host} {self.busy}/{self.cores}>"
+
+
+class _PendingEntry:
+    __slots__ = ("task", "completion", "sequence")
+
+    def __init__(self, task: Task, completion: Event, sequence: int) -> None:
+        self.task = task
+        self.completion = completion
+        self.sequence = sequence
+
+
+class TaskScheduler:
+    """Places tasks on executors and runs them via a caller-supplied body."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        executors: Dict[str, Executor],
+        config: SchedulingConfig,
+        run_task: TaskBody,
+    ) -> None:
+        if not executors:
+            raise NoEligibleExecutorError("no executors registered")
+        self.sim = sim
+        self.topology = topology
+        self.executors = executors
+        self.config = config
+        self.run_task = run_task
+        self._pending: List[_PendingEntry] = []
+        self._sequence = itertools.count()
+        self._wake_planned_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, task: Task) -> Event:
+        """Queue a task; returns an event firing with its TaskResult."""
+        task.submit_time = self.sim.now
+        completion = self.sim.event(name=f"{task.task_id}:done")
+        self._pending.append(
+            _PendingEntry(task, completion, next(self._sequence))
+        )
+        self._dispatch()
+        return completion
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def total_free_slots(self) -> int:
+        return sum(executor.free for executor in self.executors.values())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        """Greedily match free slots to eligible pending tasks."""
+        while self._pending:
+            assignment = self._best_assignment()
+            if assignment is None:
+                break
+            entry, host = assignment
+            self._pending.remove(entry)
+            self._launch(entry, host)
+        self._plan_wakeup()
+
+    def _best_assignment(self) -> Optional[Tuple[_PendingEntry, str]]:
+        """The (task, host) pair with the best locality, if any.
+
+        Hosts with more free slots are preferred within a locality level,
+        spreading load like Spark standalone's ``spreadOut``.
+        """
+        free_hosts = [
+            executor.host
+            for executor in self.executors.values()
+            if executor.free > 0
+        ]
+        if not free_hosts:
+            return None
+        best: Optional[Tuple[int, int, int, _PendingEntry, str]] = None
+        for entry in self._pending:
+            for host in free_hosts:
+                level = self._eligibility(entry.task, host)
+                if level is None:
+                    continue
+                # Rank: locality level, then submission order, then spread.
+                key = (
+                    level,
+                    entry.sequence,
+                    -self.executors[host].free,
+                )
+                if best is None or key < best[:3]:
+                    best = (*key, entry, host)
+        if best is None:
+            return None
+        return best[3], best[4]
+
+    def _task_waits(self, task: Task) -> Tuple[float, float]:
+        host_wait = (
+            task.locality_wait_host
+            if task.locality_wait_host is not None
+            else self.config.locality_wait_host
+        )
+        dc_wait = (
+            task.locality_wait_datacenter
+            if task.locality_wait_datacenter is not None
+            else self.config.locality_wait_datacenter
+        )
+        return host_wait, dc_wait
+
+    def _eligibility(self, task: Task, host: str) -> Optional[int]:
+        """The locality level at which ``task`` may run on ``host`` now."""
+        if not task.preferred_hosts:
+            return _ANY
+        if host in task.preferred_hosts:
+            return _HOST_LOCAL
+        host_wait, dc_wait = self._task_waits(task)
+        waited = self.sim.now - task.submit_time
+        if waited >= host_wait:
+            host_dc = self.topology.datacenter_of(host)
+            if host_dc in task.preferred_datacenters:
+                return _DC_LOCAL
+        if waited >= host_wait + dc_wait:
+            return _ANY
+        return None
+
+    def _launch(self, entry: _PendingEntry, host: str) -> None:
+        executor = self.executors[host]
+        executor.busy += 1
+        executor.tasks_run += 1
+        self.sim.spawn(
+            self._run_wrapper(entry, host),
+            name=f"{entry.task.task_id}@{host}",
+        )
+
+    def _run_wrapper(self, entry: _PendingEntry, host: str):
+        executor = self.executors[host]
+        try:
+            result = yield from self.run_task(entry.task, host)
+        except BaseException as error:  # noqa: BLE001 - propagate to waiter
+            executor.busy -= 1
+            self._dispatch()
+            entry.completion.fail(error)
+            return
+        executor.busy -= 1
+        self._dispatch()
+        entry.completion.succeed(result)
+
+    # ------------------------------------------------------------------
+    # Locality-wait wakeups
+    # ------------------------------------------------------------------
+    def _plan_wakeup(self) -> None:
+        """Schedule a re-dispatch when a pending task's wait tier expires."""
+        if not self._pending or self.total_free_slots() == 0:
+            return
+        next_time: Optional[float] = None
+        for entry in self._pending:
+            submitted = entry.task.submit_time
+            if not entry.task.preferred_hosts:
+                continue
+            wait_host, wait_dc = self._task_waits(entry.task)
+            for threshold in (
+                submitted + wait_host,
+                submitted + wait_host + wait_dc,
+            ):
+                if threshold > self.sim.now:
+                    if next_time is None or threshold < next_time:
+                        next_time = threshold
+                    break
+        if next_time is None:
+            return
+        if self._wake_planned_at is not None and (
+            self._wake_planned_at <= next_time
+            and self._wake_planned_at > self.sim.now
+        ):
+            return  # an earlier-or-equal wake is already scheduled
+        self._wake_planned_at = next_time
+        wake = self.sim.timeout(next_time - self.sim.now, name="sched:wake")
+        wake.add_callback(lambda _event: self._on_wake())
+
+    def _on_wake(self) -> None:
+        self._wake_planned_at = None
+        self._dispatch()

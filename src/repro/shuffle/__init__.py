@@ -1,0 +1,23 @@
+"""Shuffle machinery: trackers and data stores.
+
+* :class:`~repro.shuffle.map_output_tracker.MapOutputTracker` — where each
+  map task's sharded output lives and how big each shard is (the driver-
+  side metadata Spark keeps under the same name).
+* :class:`~repro.shuffle.stores.ShuffleStore` — the shard payloads,
+  indexed by (shuffle, map partition, reduce partition) and by host, so
+  reads can be charged as local disk or network flows.
+* :class:`~repro.shuffle.stores.TransferTracker` — the analogous metadata
+  and payload store for ``transfer_to`` boundaries: whole partitions
+  staged at their origin host, waiting for a receiver task to pull them.
+"""
+
+from repro.shuffle.map_output_tracker import MapOutputTracker, MapStatus
+from repro.shuffle.stores import ShuffleStore, TransferTracker, StagedPartition
+
+__all__ = [
+    "MapOutputTracker",
+    "MapStatus",
+    "ShuffleStore",
+    "TransferTracker",
+    "StagedPartition",
+]

@@ -1,0 +1,144 @@
+"""MapOutputTracker: driver-side metadata about shuffle output.
+
+For every shuffle it records, per map partition, the host where the
+sharded output was written and the logical size of each reduce shard.
+Reducers consult it to plan fetches; the task scheduler consults it to
+compute reducer locality preferences (hosts holding at least a configured
+fraction of a reducer's input, Spark 1.6 semantics); the DAG scheduler
+consults it to pick aggregator datacenters for downstream transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import MapOutputMissingError
+
+
+@dataclass
+class MapStatus:
+    """Location and shard sizes of one map partition's shuffle output."""
+
+    map_index: int
+    host: str
+    shard_sizes: List[float]
+
+    @property
+    def total_size(self) -> float:
+        return sum(self.shard_sizes)
+
+
+class MapOutputTracker:
+    """Registry of :class:`MapStatus` per shuffle."""
+
+    def __init__(self) -> None:
+        self._shuffles: Dict[int, Dict[int, MapStatus]] = {}
+        self._num_maps: Dict[int, int] = {}
+
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        if shuffle_id not in self._shuffles:
+            self._shuffles[shuffle_id] = {}
+            self._num_maps[shuffle_id] = num_maps
+
+    def register_map_output(self, shuffle_id: int, status: MapStatus) -> None:
+        if shuffle_id not in self._shuffles:
+            raise MapOutputMissingError(f"shuffle {shuffle_id} not registered")
+        self._shuffles[shuffle_id][status.map_index] = status
+
+    def unregister_shuffle(self, shuffle_id: int) -> None:
+        self._shuffles.pop(shuffle_id, None)
+        self._num_maps.pop(shuffle_id, None)
+
+    def unregister_host(self, host: str) -> int:
+        """Drop every map output registered at ``host`` (host failure).
+
+        Returns the number of map outputs lost; affected shuffles become
+        incomplete, so dependent stages re-run exactly those partitions.
+        """
+        lost = 0
+        for statuses in self._shuffles.values():
+            doomed = [
+                index for index, status in statuses.items()
+                if status.host == host
+            ]
+            for index in doomed:
+                del statuses[index]
+                lost += 1
+        return lost
+
+    def has_map_output(self, shuffle_id: int, map_index: int) -> bool:
+        return map_index in self._shuffles.get(shuffle_id, {})
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_complete(self, shuffle_id: int) -> bool:
+        if shuffle_id not in self._shuffles:
+            return False
+        return len(self._shuffles[shuffle_id]) == self._num_maps[shuffle_id]
+
+    def map_statuses(self, shuffle_id: int) -> List[MapStatus]:
+        try:
+            statuses = self._shuffles[shuffle_id]
+        except KeyError:
+            raise MapOutputMissingError(
+                f"shuffle {shuffle_id} not registered"
+            ) from None
+        return [statuses[index] for index in sorted(statuses)]
+
+    def map_status(self, shuffle_id: int, map_index: int) -> MapStatus:
+        statuses = self._shuffles.get(shuffle_id, {})
+        if map_index not in statuses:
+            raise MapOutputMissingError(
+                f"shuffle {shuffle_id}: no output for map {map_index}"
+            )
+        return statuses[map_index]
+
+    def reducer_input_by_host(
+        self, shuffle_id: int, reduce_index: int
+    ) -> Dict[str, float]:
+        """Logical bytes this reducer must read, keyed by source host."""
+        by_host: Dict[str, float] = {}
+        for status in self.map_statuses(shuffle_id):
+            size = status.shard_sizes[reduce_index]
+            if size > 0:
+                by_host[status.host] = by_host.get(status.host, 0.0) + size
+        return by_host
+
+    def reducer_preferred_hosts(
+        self, shuffle_id: int, reduce_index: int, fraction: float
+    ) -> List[str]:
+        """Hosts storing at least ``fraction`` of the reducer's input.
+
+        Mirrors Spark 1.6's ``getPreferredLocationsForShuffle``: with map
+        output scattered over many hosts no host passes the threshold and
+        the reducer has *no* locality preference — the behaviour that lets
+        the default scheduler scatter reducers across datacenters, which
+        the paper's aggregation strategy exploits in reverse.
+        """
+        by_host = self.reducer_input_by_host(shuffle_id, reduce_index)
+        total = sum(by_host.values())
+        if total <= 0:
+            return []
+        return [
+            host for host, size in by_host.items() if size >= fraction * total
+        ]
+
+    def total_output_by_datacenter(
+        self, shuffle_id: int, host_to_dc: Mapping[str, str]
+    ) -> Dict[str, float]:
+        """Aggregate registered map-output bytes per datacenter."""
+        by_dc: Dict[str, float] = {}
+        for status in self.map_statuses(shuffle_id):
+            dc = host_to_dc[status.host]
+            by_dc[dc] = by_dc.get(dc, 0.0) + status.total_size
+        return by_dc
+
+    def shard_size(
+        self, shuffle_id: int, map_index: int, reduce_index: int
+    ) -> Optional[float]:
+        try:
+            return self.map_status(shuffle_id, map_index).shard_sizes[reduce_index]
+        except MapOutputMissingError:
+            return None

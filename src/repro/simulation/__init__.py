@@ -1,0 +1,37 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small and self-contained: a binary-heap event
+queue, a simulated clock, and generator-based processes in the style of
+SimPy.  A process is a Python generator that yields :class:`Event` objects;
+the kernel resumes the generator when the yielded event fires.
+
+Typical usage::
+
+    from repro.simulation import Simulator
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(5.0)
+        print("woke at", sim.now)
+
+    sim.spawn(worker(sim))
+    sim.run()
+"""
+
+from repro.simulation.event import Event, Timeout, AllOf, AnyOf
+from repro.simulation.kernel import Simulator, Process
+from repro.simulation.random_source import RandomSource
+from repro.simulation.resources import Resource, Store
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+    "Process",
+    "RandomSource",
+    "Resource",
+    "Store",
+]

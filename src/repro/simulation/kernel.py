@@ -1,0 +1,198 @@
+"""The simulation kernel: clock, event queue, and process execution.
+
+The :class:`Simulator` owns a binary-heap agenda of ``(time, sequence,
+event)`` entries.  ``sequence`` is a monotonically increasing tie-breaker so
+that events scheduled at the same instant fire in FIFO order, which keeps
+runs fully deterministic.
+
+A :class:`Process` wraps a generator.  Each value the generator yields must
+be an :class:`Event`; the process sleeps until that event fires and is then
+resumed with the event's value (or the event's error is thrown into the
+generator).  A finished process is itself an event, firing with the
+generator's return value, so processes can wait for one another.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.simulation.event import AllOf, AnyOf, Event, Timeout
+
+
+class Process(Event):
+    """A running generator, resumable by the kernel; also awaitable."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"Simulator.spawn() requires a generator, got {type(generator)!r}"
+            )
+        self._generator = generator
+        # Kick-start on the next tick of the current instant.
+        bootstrap = Event(sim, name=f"{self.name}:start")
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed(None)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the fired event's outcome."""
+        if self.triggered:
+            # The process already finished (e.g. it was interrupted and
+            # the event it had been waiting on fired later).
+            return
+        try:
+            if event.failed:
+                target = self._generator.throw(event.error)  # type: ignore[arg-type]
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as error:  # noqa: BLE001 - process crashed
+            self.fail(error)
+            return
+        if not isinstance(target, Event):
+            self.fail(
+                SimulationError(
+                    f"process {self.name} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        target.add_callback(self._resume)
+
+    def interrupt(self, cause: str = "interrupted") -> None:
+        """Throw :class:`SimulationError` into the process at the next tick."""
+        if self.triggered:
+            return
+        poke = Event(self.sim, name=f"{self.name}:interrupt")
+        poke.add_callback(self._resume)
+        poke.fail(SimulationError(cause))
+
+
+class Simulator:
+    """Discrete-event simulator: clock, agenda, and process spawner."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._agenda: List[Tuple[float, int, Event]] = []
+        self._sequence = itertools.count()
+        self._processed_events = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds by convention)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events delivered so far (diagnostics)."""
+        return self._processed_events
+
+    # ------------------------------------------------------------------
+    # Event creation helpers
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value=value, name=name)
+
+    def all_of(self, events: Any, name: str = "") -> AllOf:
+        """Combine events; fires when all have fired."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: Any, name: str = "") -> AnyOf:
+        """Combine events; fires when the first one fires."""
+        return AnyOf(self, events, name=name)
+
+    def spawn(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # ------------------------------------------------------------------
+    # Scheduling (internal API used by Event)
+    # ------------------------------------------------------------------
+    def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._agenda, (self._now + delay, next(self._sequence), event)
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Deliver the next event.  Returns False if the agenda is empty."""
+        if not self._agenda:
+            return False
+        time, _seq, event = heapq.heappop(self._agenda)
+        if time < self._now:
+            raise SimulationError(
+                f"time went backwards: {time} < {self._now}"
+            )
+        self._now = time
+        self._processed_events += 1
+        event._deliver()
+        return True
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the agenda empties or the clock passes ``until``.
+
+        Returns the final simulated time.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})"
+            )
+        while self._agenda:
+            time = self._agenda[0][0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` fires, then return its value.
+
+        Unlike :meth:`run`, this works when perpetual background processes
+        (e.g. bandwidth jitter) keep the agenda non-empty forever.
+        """
+        while not event.triggered:
+            if not self.step():
+                raise SimulationError(
+                    f"agenda drained before event {event.name!r} fired"
+                )
+        return event.value
+
+    def run_process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Any:
+        """Spawn ``generator``, run to completion, and return its result.
+
+        Convenience wrapper used heavily in tests and the experiment
+        harness.  Raises whatever the process raised.
+        """
+        process = self.spawn(generator, name=name)
+        self.run()
+        if not process.triggered:
+            raise SimulationError(
+                f"process {process.name} deadlocked: agenda empty but not done"
+            )
+        return process.value

@@ -1,0 +1,26 @@
+"""HDFS-like distributed storage model.
+
+Provides exactly what the experiments need from HDFS: a namespace of files
+split into blocks, block placement across hosts (and therefore
+datacenters), replica-aware locality queries, and a simple disk-throughput
+model used to charge read/write time.
+
+The namenode is pure metadata; actual record payloads live in
+:class:`~repro.storage.datanode.DataNode` objects so that RDD tasks can
+read genuine data while the simulation charges genuine time.
+"""
+
+from repro.storage.block import Block, BlockId
+from repro.storage.datanode import DataNode
+from repro.storage.namenode import NameNode
+from repro.storage.disk import DiskModel
+from repro.storage.hdfs import DistributedFileSystem
+
+__all__ = [
+    "Block",
+    "BlockId",
+    "DataNode",
+    "NameNode",
+    "DiskModel",
+    "DistributedFileSystem",
+]

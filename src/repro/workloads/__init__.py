@@ -1,0 +1,74 @@
+"""HiBench-style workloads (Table I of the paper).
+
+Five workloads of increasing complexity: WordCount (one combined
+shuffle), Sort (one full-data shuffle), TeraSort (full-data shuffle with
+a bloating map — the paper's §V-B anomaly), PageRank (iterative joins
+over cached links), and NaiveBayes (two chained shuffles).
+"""
+
+from repro.workloads.base import Workload, add_weighted, merge_counts
+from repro.workloads.naive_bayes import NaiveBayes
+from repro.workloads.pagerank import PageRank
+from repro.workloads.sort import Sort
+from repro.workloads.specs import (
+    ALL_SPECS,
+    NAIVE_BAYES,
+    PAGERANK,
+    PAGERANK_ITERATIONS,
+    SORT,
+    TERASORT,
+    TERASORT_BLOAT_FACTOR,
+    WORDCOUNT,
+    WorkloadSpec,
+    spec_by_name,
+)
+from repro.workloads.terasort import TeraSort
+from repro.workloads.extensions import (
+    JOIN_SPEC,
+    KMEANS_SPEC,
+    JoinAggregate,
+    KMeans,
+)
+from repro.workloads.text_gen import TextGenerator
+from repro.workloads.wordcount import WordCount
+
+
+def all_workloads():
+    """Fresh instances of the five Table I workloads, paper order."""
+    return [WordCount(), Sort(), TeraSort(), PageRank(), NaiveBayes()]
+
+
+def workload_by_name(name: str) -> Workload:
+    for workload in all_workloads():
+        if workload.name.lower() == name.lower():
+            return workload
+    raise KeyError(f"unknown workload {name!r}")
+
+
+__all__ = [
+    "Workload",
+    "merge_counts",
+    "add_weighted",
+    "WordCount",
+    "Sort",
+    "TeraSort",
+    "PageRank",
+    "NaiveBayes",
+    "TextGenerator",
+    "WorkloadSpec",
+    "spec_by_name",
+    "ALL_SPECS",
+    "WORDCOUNT",
+    "SORT",
+    "TERASORT",
+    "TERASORT_BLOAT_FACTOR",
+    "PAGERANK",
+    "PAGERANK_ITERATIONS",
+    "NAIVE_BAYES",
+    "all_workloads",
+    "workload_by_name",
+    "KMeans",
+    "JoinAggregate",
+    "KMEANS_SPEC",
+    "JOIN_SPEC",
+]

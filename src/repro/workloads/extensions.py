@@ -1,0 +1,268 @@
+"""Extension workloads beyond the paper's Table I.
+
+Two additional geo-distributed analytics patterns that exercise parts
+of the engine the HiBench five do not:
+
+* :class:`KMeans` — iterative clustering with *broadcast* model state:
+  every iteration broadcasts the centroids (driver -> one copy per
+  datacenter) and shuffles only the per-cluster partial sums.
+* :class:`JoinAggregate` — a SQL-style star join: a large fact table is
+  joined with a small dimension table, then aggregated by a dimension
+  attribute (two chained shuffles through ``cogroup``).
+
+Both follow the same Workload contract as the Table I five, so the
+experiment harness and all three schemes apply unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.cluster.context import ClusterContext
+from repro.rdd.rdd import RDD
+from repro.rdd.size_estimator import SizedRecord
+from repro.simulation.random_source import RandomSource
+from repro.workloads.base import Workload, add_weighted
+from repro.workloads.specs import MB, WorkloadSpec
+
+KMEANS_SPEC = WorkloadSpec(
+    name="KMeans",
+    total_input_bytes=800 * MB,
+    input_partitions=48,
+    reduce_partitions=8,
+    cpu_bytes_per_second=10e6,
+    records_per_partition=20,  # point buckets
+)
+
+JOIN_SPEC = WorkloadSpec(
+    name="JoinAggregate",
+    total_input_bytes=1.2e9,   # the fact table; dimension is ~1 % extra
+    input_partitions=48,
+    reduce_partitions=8,
+    cpu_bytes_per_second=12e6,
+    records_per_partition=30,  # fact-row buckets
+)
+
+
+class KMeans(Workload):
+    """Iterative 2-D clustering with broadcast centroids."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec = KMEANS_SPEC,
+        clusters: int = 4,
+        iterations: int = 3,
+    ) -> None:
+        super().__init__(spec)
+        if clusters < 1 or iterations < 1:
+            raise ValueError("clusters and iterations must be >= 1")
+        self.clusters = clusters
+        self.iterations = iterations
+        total_records = spec.input_partitions * spec.records_per_partition
+        self.point_bytes = spec.total_input_bytes / total_records
+        # Each cluster's partial sum represents many raw points.
+        self.partial_bytes = self.point_bytes / 4
+
+    # ------------------------------------------------------------------
+    def generate(self, randomness: RandomSource) -> List[List[Any]]:
+        """Gaussian blobs around ``clusters`` true centres."""
+        stream = randomness.stream("kmeans:points")
+        centres = [
+            (10.0 * cluster, 5.0 * cluster)
+            for cluster in range(self.clusters)
+        ]
+        partitions: List[List[Any]] = []
+        for _partition in range(self.spec.input_partitions):
+            records = []
+            for _ in range(self.spec.records_per_partition):
+                cx, cy = centres[stream.randrange(self.clusters)]
+                point = (cx + stream.gauss(0, 1.0), cy + stream.gauss(0, 1.0))
+                records.append(SizedRecord(point, natural_size=self.point_bytes))
+            partitions.append(records)
+        return partitions
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nearest(point: Tuple[float, float], centres) -> int:
+        best, best_distance = 0, float("inf")
+        for index, (cx, cy) in enumerate(centres):
+            distance = (point[0] - cx) ** 2 + (point[1] - cy) ** 2
+            if distance < best_distance:
+                best, best_distance = index, distance
+        return best
+
+    def initial_centres(self) -> List[Tuple[float, float]]:
+        return [(3.0 * k, 3.0 * k) for k in range(self.clusters)]
+
+    def run(self, context: ClusterContext) -> List[Tuple[float, float]]:
+        partial_bytes = self.partial_bytes
+        nearest = self._nearest
+        points = context.text_file(self.input_path).cache()
+        centres = self.initial_centres()
+        for _iteration in range(self.iterations):
+            published = context.broadcast(tuple(centres))
+
+            def assign(record, current):
+                point = record.payload
+                cluster = nearest(point, current)
+                return (
+                    cluster,
+                    SizedRecord(
+                        (point[0], point[1], 1.0),
+                        natural_size=partial_bytes,
+                    ),
+                )
+
+            def merge(left, right):
+                lx, ly, ln = left.payload
+                rx, ry, rn = right.payload
+                return SizedRecord(
+                    (lx + rx, ly + ry, ln + rn),
+                    natural_size=max(left.natural_size, right.natural_size),
+                )
+
+            sums = (
+                points.map_with_broadcast(assign, published)
+                .reduce_by_key(merge, num_partitions=self.spec.reduce_partitions)
+                .collect()
+            )
+            updated = list(centres)
+            for cluster, total in sums:
+                sx, sy, count = total.payload
+                if count > 0:
+                    updated[cluster] = (sx / count, sy / count)
+            centres = updated
+        return centres
+
+    def build(self, context: ClusterContext) -> RDD:
+        raise NotImplementedError(
+            "KMeans is iterative with driver-side collects; use run()"
+        )
+
+    # ------------------------------------------------------------------
+    def reference_result(
+        self, partitions: Sequence[List[Any]]
+    ) -> List[Tuple[float, float]]:
+        points = [record.payload for part in partitions for record in part]
+        centres = self.initial_centres()
+        for _ in range(self.iterations):
+            sums: Dict[int, List[float]] = {}
+            for point in points:
+                cluster = self._nearest(point, centres)
+                entry = sums.setdefault(cluster, [0.0, 0.0, 0.0])
+                entry[0] += point[0]
+                entry[1] += point[1]
+                entry[2] += 1.0
+            updated = list(centres)
+            for cluster, (sx, sy, count) in sums.items():
+                if count > 0:
+                    updated[cluster] = (sx / count, sy / count)
+            centres = updated
+        return centres
+
+
+class JoinAggregate(Workload):
+    """Star join: facts ⋈ dimension, aggregated by region."""
+
+    REGIONS = ("na", "eu", "apac", "latam")
+
+    def __init__(
+        self, spec: WorkloadSpec = JOIN_SPEC, num_users: int = 200
+    ) -> None:
+        super().__init__(spec)
+        self.num_users = num_users
+        total_facts = spec.input_partitions * spec.records_per_partition
+        self.fact_bytes = spec.total_input_bytes / total_facts
+        self.dimension_bytes = 0.01 * spec.total_input_bytes / num_users
+
+    @property
+    def dimension_path(self) -> str:
+        return f"{self.input_path}-users"
+
+    # ------------------------------------------------------------------
+    def generate(self, randomness: RandomSource) -> List[List[Any]]:
+        stream = randomness.stream("join:facts")
+        partitions: List[List[Any]] = []
+        for _partition in range(self.spec.input_partitions):
+            records = []
+            for _ in range(self.spec.records_per_partition):
+                user = stream.randrange(self.num_users)
+                amount = stream.uniform(1.0, 100.0)
+                records.append(
+                    (user, SizedRecord(amount, natural_size=self.fact_bytes))
+                )
+            partitions.append(records)
+        return partitions
+
+    def generate_dimension(
+        self, randomness: RandomSource
+    ) -> List[List[Any]]:
+        """The small users table: (user id, region), 4 blocks."""
+        stream = randomness.stream("join:users")
+        rows = [
+            (
+                user,
+                SizedRecord(
+                    self.REGIONS[stream.randrange(len(self.REGIONS))],
+                    natural_size=self.dimension_bytes,
+                ),
+            )
+            for user in range(self.num_users)
+        ]
+        blocks = 4
+        return [rows[i::blocks] for i in range(blocks)]
+
+    def install(
+        self,
+        context: ClusterContext,
+        partitions: Sequence[List[Any]],
+        placement_hosts=None,
+    ) -> None:
+        super().install(context, partitions, placement_hosts)
+        dimension = self.generate_dimension(
+            RandomSource(0).child("join:dimension")
+        )
+        context.write_input_file(self.dimension_path, dimension)
+
+    # ------------------------------------------------------------------
+    def build(self, context: ClusterContext) -> RDD:
+        facts = context.text_file(self.input_path)
+        users = context.text_file(self.dimension_path)
+        joined = facts.join(users, num_partitions=self.spec.reduce_partitions)
+
+        def to_region(record):
+            _user, (amount, region) = record
+            return (
+                region.payload,
+                SizedRecord(amount.payload, natural_size=amount.natural_size),
+            )
+
+        return joined.map(to_region, name="toRegion").reduce_by_key(
+            add_weighted, num_partitions=self.spec.reduce_partitions
+        )
+
+    def run(self, context: ClusterContext) -> Dict[str, float]:
+        return {
+            region: total.payload
+            for region, total in self.build(context).collect()
+        }
+
+    # ------------------------------------------------------------------
+    def reference_result(
+        self, partitions: Sequence[List[Any]]
+    ) -> Dict[str, float]:
+        dimension = {
+            user: region.payload
+            for block in self.generate_dimension(
+                RandomSource(0).child("join:dimension")
+            )
+            for user, region in block
+        }
+        totals: Dict[str, float] = {}
+        for block in partitions:
+            for user, amount in block:
+                region = dimension[user]
+                totals[region] = totals.get(region, 0.0) + amount.payload
+        return totals

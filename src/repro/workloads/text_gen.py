@@ -1,0 +1,75 @@
+"""Synthetic text generation: Zipf-distributed bags of words.
+
+Stands in for HiBench's RandomTextWriter.  A *document* is a bag of
+word-bucket counts: the vocabulary is bucketised (one simulated bucket
+represents ``words_per_bucket`` real words), sampled with a Zipf law so
+bucket popularity is realistically skewed, and drawn with numpy's
+multinomial for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.simulation.random_source import RandomSource
+
+# Approximate serialized bytes of one real (word, count) entry.
+REAL_ENTRY_BYTES = 39.0
+
+
+def zipf_probabilities(vocabulary_size: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalised Zipf weights over a finite vocabulary."""
+    if vocabulary_size < 1:
+        raise ValueError("vocabulary_size must be >= 1")
+    ranks = np.arange(1, vocabulary_size + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class TextGenerator:
+    """Generates documents as word-bucket count dictionaries."""
+
+    def __init__(
+        self,
+        vocabulary_buckets: int = 2000,
+        words_per_bucket: int = 500,
+        tokens_per_document: int = 4000,
+        zipf_exponent: float = 1.1,
+    ) -> None:
+        if vocabulary_buckets < 1 or words_per_bucket < 1:
+            raise ValueError("vocabulary parameters must be positive")
+        if tokens_per_document < 1:
+            raise ValueError("tokens_per_document must be positive")
+        self.vocabulary_buckets = vocabulary_buckets
+        self.words_per_bucket = words_per_bucket
+        self.tokens_per_document = tokens_per_document
+        self.probabilities = zipf_probabilities(vocabulary_buckets, zipf_exponent)
+
+    @property
+    def bucket_bytes(self) -> float:
+        """Real bytes represented by one bucket's combined count entry."""
+        return self.words_per_bucket * REAL_ENTRY_BYTES
+
+    def bucket_name(self, index: int) -> str:
+        return f"w{index:05d}"
+
+    def document(self, randomness: RandomSource, stream: str) -> Dict[str, int]:
+        """One document: bucket name -> token count (nonzero buckets only)."""
+        seed = randomness.stream(stream).getrandbits(32)
+        rng = np.random.default_rng(seed)
+        counts = rng.multinomial(self.tokens_per_document, self.probabilities)
+        return {
+            self.bucket_name(index): int(count)
+            for index, count in enumerate(counts)
+            if count > 0
+        }
+
+    def documents(
+        self, randomness: RandomSource, stream_prefix: str, count: int
+    ) -> List[Dict[str, int]]:
+        return [
+            self.document(randomness, f"{stream_prefix}:{index}")
+            for index in range(count)
+        ]

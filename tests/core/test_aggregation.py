@@ -1,0 +1,105 @@
+"""Aggregator-datacenter selection from stage input distribution."""
+
+import pytest
+
+from repro.core.aggregation import (
+    select_aggregator_datacenters,
+    stage_input_bytes_by_datacenter,
+)
+from repro.scheduler.stage import StageKind, build_stages
+from tests.conftest import make_context, small_spec
+
+
+def producer_stage_for(rdd):
+    _result, stages = build_stages(rdd.transfer_to())
+    return next(
+        s for s in stages if s.kind is StageKind.TRANSFER_PRODUCER
+    )
+
+
+def test_input_bytes_follow_block_placement():
+    context = make_context(push=True)
+    context.write_input_file(
+        "/in",
+        [["x" * 100], ["y" * 100], ["z" * 100]],
+        placement_hosts=["dc-a-w0", "dc-a-w1", "dc-b-w0"],
+    )
+    stage = producer_stage_for(context.text_file("/in"))
+    by_dc = stage_input_bytes_by_datacenter(stage, context)
+    assert by_dc["dc-a"] == pytest.approx(2 * by_dc["dc-b"], rel=0.01)
+    context.shutdown()
+
+
+def test_selection_picks_largest_holder():
+    context = make_context(push=True)
+    context.write_input_file(
+        "/in",
+        [["x" * 100], ["y" * 100], ["z" * 100]],
+        placement_hosts=["dc-b-w0", "dc-b-w1", "dc-a-w0"],
+    )
+    stage = producer_stage_for(context.text_file("/in"))
+    assert select_aggregator_datacenters(stage, context) == ["dc-b"]
+    context.shutdown()
+
+
+def test_subset_selection_returns_k_largest():
+    spec = small_spec(datacenters=("d1", "d2", "d3"))
+    context = make_context(push=True, spec=spec)
+    context.write_input_file(
+        "/in",
+        [["x" * 300], ["y" * 200], ["z" * 100]],
+        placement_hosts=["d1-w0", "d2-w0", "d3-w0"],
+    )
+    stage = producer_stage_for(context.text_file("/in"))
+    chosen = select_aggregator_datacenters(stage, context, subset_size=2)
+    assert chosen == ["d1", "d2"]
+    context.shutdown()
+
+
+def test_selection_falls_back_to_driver_datacenter():
+    context = make_context(push=True)
+    rdd = context.parallelize([1, 2, 3], num_slices=2)
+    stage = producer_stage_for(rdd)
+    assert select_aggregator_datacenters(stage, context) == ["dc-a"]
+    context.shutdown()
+
+
+def test_selection_uses_cached_locations_when_available():
+    context = make_context(push=True)
+    context.write_input_file(
+        "/in", [["x" * 50]], placement_hosts=["dc-a-w0"]
+    )
+    cached = context.text_file("/in").map(lambda x: x).cache()
+    cached.collect()  # materialise the cache at dc-a
+    # Manually relocate the cache entry to dc-b to prove it is consulted.
+    entry = context.cache.lookup(cached.rdd_id, 0)
+    entry.host = "dc-b-w0"
+    stage = producer_stage_for(cached)
+    assert select_aggregator_datacenters(stage, context) == ["dc-b"]
+    context.shutdown()
+
+
+def test_selection_uses_upstream_shuffle_output():
+    context = make_context(push=False)
+    context.write_input_file(
+        "/in", [[("a", 1)], [("b", 2)]],
+        placement_hosts=["dc-b-w0", "dc-b-w1"],
+    )
+    reduced = context.text_file("/in").reduce_by_key(lambda a, b: a + b)
+    reduced.collect()  # registers the shuffle's map outputs on dc-b
+    stage = producer_stage_for(reduced.map(lambda kv: kv))
+    by_dc = stage_input_bytes_by_datacenter(stage, context)
+    assert by_dc["dc-b"] > 0
+    assert by_dc["dc-a"] == 0
+    context.shutdown()
+
+
+def test_subset_size_validation():
+    from repro.errors import SchedulerError
+
+    context = make_context(push=True)
+    context.write_input_file("/in", [[1]])
+    stage = producer_stage_for(context.text_file("/in"))
+    with pytest.raises(SchedulerError):
+        select_aggregator_datacenters(stage, context, subset_size=0)
+    context.shutdown()

@@ -1,0 +1,123 @@
+"""The §III-B analytical model: Eq. (1), Eq. (2), and optimality."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    aggregation_benefit,
+    cross_dc_traffic_lower_bound,
+    optimal_reducer_datacenter,
+    reducer_fetch_volume,
+    shard_matrix,
+    total_fetch_volume,
+)
+
+sizes_strategy = st.dictionaries(
+    st.sampled_from(["dc1", "dc2", "dc3", "dc4", "dc5"]),
+    st.floats(0.0, 1e9),
+    min_size=1,
+    max_size=5,
+)
+
+
+def test_eq1_example_from_paper():
+    """A reducer in the largest datacenter fetches (S - s1)/N."""
+    sizes = {"dc1": 600.0, "dc2": 300.0, "dc3": 100.0}
+    assert reducer_fetch_volume(sizes, "dc1", 4) == pytest.approx(100.0)
+    assert reducer_fetch_volume(sizes, "dc3", 4) == pytest.approx(225.0)
+
+
+def test_eq1_reducer_outside_all_datacenters_fetches_everything():
+    sizes = {"dc1": 100.0}
+    assert reducer_fetch_volume(sizes, "elsewhere", 2) == pytest.approx(50.0)
+
+
+def test_eq2_lower_bound_is_total_minus_largest():
+    sizes = {"dc1": 600.0, "dc2": 300.0, "dc3": 100.0}
+    assert cross_dc_traffic_lower_bound(sizes) == pytest.approx(400.0)
+
+
+def test_all_in_one_datacenter_needs_no_traffic():
+    assert cross_dc_traffic_lower_bound({"dc1": 1e9}) == 0.0
+
+
+def test_optimal_datacenter_is_largest_holder():
+    sizes = {"dc1": 10.0, "dc2": 90.0, "dc3": 40.0}
+    assert optimal_reducer_datacenter(sizes) == "dc2"
+
+
+def test_optimal_datacenter_tie_breaks_deterministically():
+    sizes = {"b": 50.0, "a": 50.0}
+    assert optimal_reducer_datacenter(sizes) == "a"
+
+
+def test_negative_sizes_rejected():
+    with pytest.raises(ValueError):
+        cross_dc_traffic_lower_bound({"dc": -1.0})
+    with pytest.raises(ValueError):
+        reducer_fetch_volume({"dc": -1.0}, "dc", 1)
+
+
+def test_reducer_count_must_be_positive():
+    with pytest.raises(ValueError):
+        reducer_fetch_volume({"dc": 1.0}, "dc", 0)
+    with pytest.raises(ValueError):
+        total_fetch_volume({"dc": 1.0}, [])
+
+
+@given(sizes_strategy)
+@settings(max_examples=200)
+def test_eq2_bound_achieved_by_optimal_placement(sizes):
+    """Placing every reducer in the optimal DC achieves exactly S - s1."""
+    best = optimal_reducer_datacenter(sizes)
+    for num_reducers in (1, 3, 8):
+        placement = [best] * num_reducers
+        total = total_fetch_volume(sizes, placement)
+        bound = cross_dc_traffic_lower_bound(sizes)
+        assert total == pytest.approx(bound, abs=1e-6)
+
+
+@given(sizes_strategy, st.integers(1, 4))
+@settings(max_examples=100)
+def test_eq2_is_a_true_lower_bound(sizes, num_reducers):
+    """No placement (brute force over all assignments) beats S - s1."""
+    datacenters = sorted(sizes)
+    bound = cross_dc_traffic_lower_bound(sizes)
+    for placement in itertools.product(datacenters, repeat=num_reducers):
+        total = total_fetch_volume(sizes, list(placement))
+        assert total >= bound - 1e-6
+
+
+@given(sizes_strategy)
+@settings(max_examples=100)
+def test_optimal_choice_matches_brute_force(sizes):
+    """The Eq. (1)-optimal DC minimises a single reducer's fetch volume."""
+    best = optimal_reducer_datacenter(sizes)
+    best_volume = reducer_fetch_volume(sizes, best, 1)
+    for dc in sizes:
+        assert best_volume <= reducer_fetch_volume(sizes, dc, 1) + 1e-6
+
+
+def test_aggregation_benefit_monotone():
+    sizes = {"dc1": 500.0, "dc2": 300.0, "dc3": 200.0}
+    residuals = [
+        aggregation_benefit(sizes, fraction)
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0)
+    ]
+    assert residuals[0] == pytest.approx(500.0)
+    assert residuals[-1] == pytest.approx(0.0)
+    assert residuals == sorted(residuals, reverse=True)
+
+
+def test_aggregation_benefit_validates_fraction():
+    with pytest.raises(ValueError):
+        aggregation_benefit({"dc": 1.0}, 1.5)
+
+
+def test_shard_matrix_divides_evenly():
+    matrix = shard_matrix({"dc1": 80.0, "dc2": 40.0}, 4)
+    assert matrix == {"dc1": 20.0, "dc2": 10.0}
+    with pytest.raises(ValueError):
+        shard_matrix({"dc1": 1.0}, 0)

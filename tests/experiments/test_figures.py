@@ -1,0 +1,99 @@
+"""Figure aggregation functions over synthetic RunResults."""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig7_job_completion_times,
+    fig8_cross_dc_traffic,
+    fig9_stage_breakdown,
+    headline_numbers,
+)
+from repro.experiments.runner import RunResult, StageRecord
+from repro.experiments.schemes import Scheme
+
+
+def result(workload, scheme, seed, duration, traffic, stages=(), tags=None):
+    return RunResult(
+        workload=workload,
+        scheme=scheme,
+        seed=seed,
+        duration=duration,
+        job_duration=duration,
+        centralize_duration=0.0,
+        cross_dc_megabytes=traffic,
+        total_megabytes=traffic,
+        cross_dc_by_tag=tags or {},
+        stages=list(stages),
+    )
+
+
+def synthetic_results():
+    rows = []
+    for seed in range(10):
+        noise = seed * 0.5
+        rows.append(result("Sort", Scheme.SPARK, seed, 100 + noise, 150))
+        rows.append(result("Sort", Scheme.AGGSHUFFLE, seed, 60 + noise, 50))
+        rows.append(
+            result(
+                "Sort", Scheme.CENTRALIZED, seed, 120 + noise, 400,
+                tags={"centralize": 260.0},
+            )
+        )
+    return rows
+
+
+def test_fig7_summaries_have_expected_schemes():
+    figure = fig7_job_completion_times(synthetic_results())
+    assert set(figure["Sort"]) == {"Spark", "AggShuffle", "Centralized"}
+    spark = figure["Sort"]["Spark"]
+    assert spark.count == 10
+    assert 100 <= spark.trimmed <= 105
+
+
+def test_fig8_uses_centralize_tag_for_centralized():
+    figure = fig8_cross_dc_traffic(synthetic_results())
+    assert figure["Sort"]["Spark"] == pytest.approx(150.0)
+    assert figure["Sort"]["AggShuffle"] == pytest.approx(50.0)
+    # Paper semantics: Centralized bar = aggregation traffic only.
+    assert figure["Sort"]["Centralized"] == pytest.approx(260.0)
+
+
+def test_fig8_filters_to_requested_workloads():
+    rows = synthetic_results() + [
+        result("WordCount", Scheme.SPARK, 0, 10, 10)
+    ]
+    figure = fig8_cross_dc_traffic(rows)
+    assert "WordCount" not in figure
+
+
+def test_fig9_aggregates_stage_positions():
+    stages_a = [
+        StageRecord("s0", "shuffle_map", 0.0, 10.0),
+        StageRecord("s1", "result", 10.0, 5.0),
+    ]
+    stages_b = [
+        StageRecord("s0", "shuffle_map", 0.0, 14.0),
+        StageRecord("s1", "result", 14.0, 7.0),
+    ]
+    rows = [
+        result("Sort", Scheme.SPARK, 0, 15, 0, stages=stages_a),
+        result("Sort", Scheme.SPARK, 1, 21, 0, stages=stages_b),
+    ]
+    figure = fig9_stage_breakdown(rows)
+    spark_stages = figure["Sort"]["Spark"]
+    assert len(spark_stages) == 2
+    assert spark_stages[0].mean == pytest.approx(12.0)
+    assert spark_stages[1].mean == pytest.approx(6.0)
+
+
+def test_headline_numbers_reductions():
+    headline = headline_numbers(synthetic_results())
+    sort = headline["Sort"]
+    assert sort["jct_reduction_pct"] == pytest.approx(40.0, abs=1.0)
+    assert sort["traffic_reduction_pct"] == pytest.approx(66.7, abs=1.0)
+    assert sort["spark_jct"] > sort["aggshuffle_jct"]
+
+
+def test_headline_skips_incomplete_workloads():
+    rows = [result("Lonely", Scheme.SPARK, 0, 10, 10)]
+    assert headline_numbers(rows) == {}

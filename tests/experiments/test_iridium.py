@@ -1,0 +1,120 @@
+"""The Iridium-style input-redistribution baseline (extension)."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.iridium import (
+    datacenter_bandwidth_scores,
+    iridium_redistribute,
+    plan_redistribution,
+)
+from repro.experiments.runner import (
+    ExperimentPlan,
+    clear_data_cache,
+    run_workload_once,
+)
+from repro.experiments.schemes import Scheme
+from repro.workloads import SORT, Sort
+from tests.conftest import make_context, small_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_data_cache()
+    yield
+    clear_data_cache()
+
+
+def three_dc_context():
+    return make_context(
+        spec=small_spec(
+            datacenters=("d1", "d2", "d3"), workers_per_datacenter=2
+        )
+    )
+
+
+def test_bandwidth_scores_equal_on_homogeneous_cluster():
+    context = three_dc_context()
+    scores = datacenter_bandwidth_scores(context)
+    values = list(scores.values())
+    assert len(scores) == 3
+    assert max(values) == pytest.approx(min(values))
+    context.shutdown()
+
+
+def test_plan_moves_surplus_blocks():
+    context = three_dc_context()
+    # All six blocks pinned to d1: two thirds must move away.
+    context.write_input_file(
+        "/in", [[i] for i in range(6)],
+        placement_hosts=["d1-w0", "d1-w1"] * 3,
+    )
+    moves = plan_redistribution(context, "/in")
+    assert len(moves) == 4
+    destinations = {
+        context.topology.datacenter_of(host) for _b, host in moves
+    }
+    assert destinations == {"d2", "d3"}
+    context.shutdown()
+
+
+def test_redistribution_balances_holdings():
+    context = three_dc_context()
+    context.write_input_file(
+        "/in", [["x" * 50] for _ in range(6)],
+        placement_hosts=["d1-w0", "d1-w1"] * 3,
+    )
+    elapsed = iridium_redistribute(context, "/in")
+    assert elapsed > 0
+    held = {"d1": 0, "d2": 0, "d3": 0}
+    for block_id in context.dfs.file_blocks("/in"):
+        dc = context.topology.datacenter_of(
+            context.dfs.block_locations(block_id)[0]
+        )
+        held[dc] += 1
+    assert held == {"d1": 2, "d2": 2, "d3": 2}
+    assert context.traffic.cross_dc_by_tag["redistribute"] > 0
+    context.shutdown()
+
+
+def test_balanced_input_needs_no_moves():
+    context = three_dc_context()
+    context.write_input_file(
+        "/in", [[1], [2], [3]],
+        placement_hosts=["d1-w0", "d2-w0", "d3-w0"],
+    )
+    assert plan_redistribution(context, "/in") == []
+    assert iridium_redistribute(context, "/in") == 0.0
+    context.shutdown()
+
+
+def test_iridium_scheme_runs_through_harness():
+    plan = ExperimentPlan(
+        cluster=small_spec(
+            datacenters=("dc-a", "dc-b", "dc-c"), workers_per_datacenter=2
+        ),
+        seeds=(0,),
+    )
+    workload = Sort(spec=dataclasses.replace(
+        SORT, input_partitions=6, records_per_partition=10
+    ))
+    result = run_workload_once(workload, Scheme.IRIDIUM, 0, plan)
+    assert result.scheme is Scheme.IRIDIUM
+    assert result.duration > 0
+    # The redistribution phase appears as the first stage record.
+    assert result.stages[0].name == "redistribute-input"
+
+
+def test_records_survive_redistribution():
+    context = three_dc_context()
+    context.write_input_file(
+        "/in", [[("k", i)] for i in range(6)],
+        placement_hosts=["d1-w0", "d1-w1"] * 3,
+    )
+    iridium_redistribute(context, "/in")
+    result = dict(
+        context.text_file("/in").reduce_by_key(lambda a, b: a + b).collect()
+    )
+    assert result == {"k": sum(range(6))}
+    context.shutdown()

@@ -1,0 +1,113 @@
+"""Failure injection and stragglers, plus the Fig. 2 recovery contrast."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import FailureConfig
+from repro.failures import FailureInjector, StragglerModel
+from repro.simulation import RandomSource
+from tests.conftest import make_context, quiet_config, small_spec
+from repro.cluster.context import ClusterContext
+
+
+class _FakeTask:
+    def __init__(self, task_id="t1", attempts=1):
+        self.task_id = task_id
+        self.attempts = attempts
+
+
+def test_zero_probability_never_fails():
+    injector = FailureInjector(FailureConfig(), RandomSource(0))
+    assert not any(injector.should_fail(_FakeTask()) for _ in range(100))
+
+
+def test_certain_probability_fails_up_to_cap():
+    config = FailureConfig(
+        reducer_failure_probability=1.0, max_injected_failures_per_task=2
+    )
+    injector = FailureInjector(config, RandomSource(0))
+    task = _FakeTask()
+    assert injector.should_fail(task)
+    assert injector.should_fail(task)
+    assert not injector.should_fail(task)  # capped
+    assert injector.total_injected == 2
+
+
+def test_failures_are_deterministic_per_seed():
+    config = FailureConfig(reducer_failure_probability=0.5)
+    def draws(seed):
+        injector = FailureInjector(config, RandomSource(seed))
+        return [injector.should_fail(_FakeTask(f"t{i}")) for i in range(50)]
+    assert draws(1) == draws(1)
+    assert draws(1) != draws(2)
+
+
+def test_straggler_model_validation():
+    with pytest.raises(ValueError):
+        StragglerModel(probability=2.0)
+    with pytest.raises(ValueError):
+        StragglerModel(min_slowdown=0.5)
+    with pytest.raises(ValueError):
+        StragglerModel(min_slowdown=3.0, max_slowdown=2.0)
+
+
+def test_straggler_slowdown_in_range():
+    model = StragglerModel(probability=1.0, min_slowdown=2.0, max_slowdown=4.0)
+    randomness = RandomSource(0)
+    for i in range(50):
+        slowdown = model.slowdown(randomness, f"t{i}", 1)
+        assert 2.0 <= slowdown <= 4.0
+
+
+def test_straggler_off_by_default_in_injector():
+    injector = FailureInjector(FailureConfig(), RandomSource(0))
+    assert injector.straggler_slowdown(_FakeTask()) == 1.0
+
+
+def _run_wordcount_with_failures(push: bool):
+    """Run a small shuffle job with guaranteed reducer failures."""
+    failures = FailureConfig(
+        reducer_failure_probability=1.0, max_injected_failures_per_task=1
+    )
+    config = dataclasses.replace(quiet_config(push=push), failures=failures)
+    context = ClusterContext(small_spec(), config)
+    context.write_input_file(
+        "/in", [[("a", 1), ("b", 2)], [("a", 3)], [("c", 4)], [("b", 5)]]
+    )
+    result = dict(
+        context.text_file("/in").reduce_by_key(lambda a, b: a + b).collect()
+    )
+    assert result == {"a": 4, "b": 7, "c": 4}
+    job = context.metrics.job
+    traffic = context.traffic
+    context.shutdown()
+    return job, traffic
+
+
+def test_injected_failures_are_counted_and_recovered():
+    job, _traffic = _run_wordcount_with_failures(push=False)
+    assert job.injected_failures > 0
+
+
+def test_fetch_failures_refetch_across_datacenters():
+    """Fig. 2 (a): retries re-fetch shuffle input over the WAN."""
+    job_fail, traffic_fail = _run_wordcount_with_failures(push=False)
+
+    # Reference run without failures, same seed/data.
+    context = make_context(push=False)
+    context.write_input_file(
+        "/in", [[("a", 1), ("b", 2)], [("a", 3)], [("c", 4)], [("b", 5)]]
+    )
+    context.text_file("/in").reduce_by_key(lambda a, b: a + b).collect()
+    clean_shuffle = context.traffic.cross_dc_by_tag.get("shuffle", 0.0)
+    context.shutdown()
+
+    failed_shuffle = traffic_fail.cross_dc_by_tag.get("shuffle", 0.0)
+    assert failed_shuffle > clean_shuffle
+
+
+def test_push_failures_recover_locally():
+    """Fig. 2 (b): with aggregated input the retry adds no WAN traffic."""
+    _job, traffic = _run_wordcount_with_failures(push=True)
+    assert traffic.cross_dc_by_tag.get("shuffle", 0.0) == 0.0

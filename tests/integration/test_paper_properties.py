@@ -1,0 +1,233 @@
+"""Integration: the paper's qualitative claims on scaled-down runs.
+
+These use reduced workload specs on a three-datacenter cluster so the
+whole module stays fast, but exercise the complete stack end to end.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentPlan,
+    clear_data_cache,
+    run_workload_once,
+)
+from repro.experiments.schemes import Scheme
+from repro.workloads import (
+    PAGERANK,
+    SORT,
+    TERASORT,
+    WORDCOUNT,
+    PageRank,
+    Sort,
+    TeraSort,
+    WordCount,
+)
+from repro.workloads.text_gen import TextGenerator
+from tests.conftest import small_spec
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_data_cache()
+    yield
+    clear_data_cache()
+
+
+def plan(seeds=(0,)):
+    return ExperimentPlan(
+        cluster=small_spec(
+            datacenters=("dc-a", "dc-b", "dc-c"),
+            workers_per_datacenter=2,
+        ),
+        seeds=seeds,
+    )
+
+
+def small_wordcount():
+    return WordCount(
+        spec=dataclasses.replace(
+            WORDCOUNT, input_partitions=6, records_per_partition=2
+        ),
+        generator=TextGenerator(vocabulary_buckets=100, tokens_per_document=400),
+    )
+
+
+def small_sort():
+    return Sort(
+        spec=dataclasses.replace(
+            SORT, input_partitions=6, records_per_partition=20
+        )
+    )
+
+
+def small_terasort():
+    return TeraSort(
+        spec=dataclasses.replace(
+            TERASORT, input_partitions=6, records_per_partition=20
+        )
+    )
+
+
+def small_pagerank():
+    return PageRank(
+        spec=dataclasses.replace(
+            PAGERANK, input_partitions=6, records_per_partition=30
+        )
+    )
+
+
+def run(workload, scheme, seed=0):
+    return run_workload_once(workload, scheme, seed, plan())
+
+
+def test_aggshuffle_shuffle_path_traffic_never_exceeds_fetch():
+    """Eq. (2): the pushed volume (S - s1) is the *minimum* any fetch
+    placement can achieve, so Push/Aggregate's shuffle-path traffic is
+    at most the baseline's (equality when the baseline's reducers all
+    land in the largest datacenter, which this tiny cluster permits)."""
+    spark = run(small_wordcount(), Scheme.SPARK)
+    agg = run(small_wordcount(), Scheme.AGGSHUFFLE)
+    spark_path = spark.cross_dc_by_tag.get("shuffle", 0.0)
+    agg_path = agg.cross_dc_by_tag.get(
+        "transfer_to", 0.0
+    ) + agg.cross_dc_by_tag.get("shuffle", 0.0)
+    assert agg_path <= spark_path * (1 + 1e-6)
+
+
+def test_aggshuffle_eliminates_cross_dc_shuffle_fetch():
+    agg = run(small_sort(), Scheme.AGGSHUFFLE)
+    assert agg.cross_dc_by_tag.get("shuffle", 0.0) == 0.0
+
+
+def test_spark_baseline_fetches_shuffle_across_datacenters():
+    spark = run(small_sort(), Scheme.SPARK)
+    assert spark.cross_dc_by_tag.get("shuffle", 0.0) > 0
+
+
+def test_pagerank_iterations_localised_after_aggregation():
+    """The Fig. 8 PageRank headline: ~90 % traffic reduction, because
+    after the first aggregated shuffle every iteration stays local."""
+    spark = run(small_pagerank(), Scheme.SPARK)
+    agg = run(small_pagerank(), Scheme.AGGSHUFFLE)
+    assert agg.cross_dc_megabytes < 0.5 * spark.cross_dc_megabytes
+    # AggShuffle PageRank moves the edges once; everything else is local.
+    assert set(agg.cross_dc_by_tag) <= {"transfer_to", "result", "input"}
+
+
+def test_terasort_anomaly_push_exceeds_raw_input_ship():
+    """§V-B: the bloating map makes AggShuffle push MORE bytes than the
+    Centralized scheme ships (raw input), the paper's TeraSort anomaly."""
+    agg = run(small_terasort(), Scheme.AGGSHUFFLE)
+    cent = run(small_terasort(), Scheme.CENTRALIZED)
+    pushed = agg.cross_dc_by_tag.get("transfer_to", 0.0)
+    shipped = cent.cross_dc_by_tag.get("centralize", 0.0)
+    assert pushed > shipped
+
+
+def test_explicit_transfer_fixes_terasort_traffic():
+    """The paper's prescribed fix: transfer_to() before the bloating map
+    pushes raw (smaller) data instead of bloated data."""
+    workload = small_terasort()
+    implicit = run(workload, Scheme.AGGSHUFFLE)
+
+    from repro.cluster.context import ClusterContext
+    from repro.experiments.runner import generated_input
+    from repro.experiments.placement import skewed_block_placement
+    from repro.experiments.schemes import config_for_scheme
+    from repro.simulation import RandomSource
+
+    config = config_for_scheme(Scheme.AGGSHUFFLE, workload.spec, 0)
+    context = ClusterContext(plan().cluster, config)
+    partitions = generated_input(workload, 0)
+    placement = skewed_block_placement(
+        plan().cluster, RandomSource(0).child("placement:TeraSort"),
+        len(partitions),
+    )
+    workload.install(context, partitions, placement_hosts=placement)
+    rdd = workload.build_with_explicit_transfer(context)
+    rdd.save_as_file(workload.output_path)
+    explicit_pushed = (
+        context.traffic.cross_dc_by_tag.get("transfer_to", 0.0) / 1e6
+    )
+    context.shutdown()
+
+    implicit_pushed = implicit.cross_dc_by_tag.get("transfer_to", 0.0)
+    assert explicit_pushed < implicit_pushed
+    assert explicit_pushed == pytest.approx(
+        implicit_pushed / workload.bloat_factor, rel=0.05
+    )
+
+
+def test_centralized_pays_large_upfront_cost():
+    spark = run(small_wordcount(), Scheme.CENTRALIZED)
+    assert spark.centralize_duration > 0
+    assert spark.stages[0].name == "centralize-input"
+
+
+def test_all_schemes_compute_identical_wordcount_results():
+    from repro.workloads import WordCount as WC
+
+    results = {}
+    for scheme in Scheme:
+        workload = small_wordcount()
+        outcome = run_workload_once(
+            workload, scheme, 0,
+            dataclasses.replace(plan(), keep_action_results=True),
+        )
+        results[scheme] = WC.result_to_counts(outcome.action_result)
+    assert results[Scheme.SPARK] == results[Scheme.AGGSHUFFLE]
+    assert results[Scheme.SPARK] == results[Scheme.CENTRALIZED]
+
+
+def test_failure_recovery_cheaper_under_push():
+    """Fig. 2 at system scale: injected reducer failures add WAN traffic
+    under fetch but not under Push/Aggregate."""
+    from repro.config import FailureConfig
+
+    base = dataclasses.replace(
+        plan(),
+        base_config=None,
+    )
+    failure_plan = ExperimentPlan(
+        cluster=base.cluster,
+        seeds=(0,),
+        base_config=dataclasses.replace(
+            run_config_base(),
+            failures=FailureConfig(
+                reducer_failure_probability=1.0,
+                max_injected_failures_per_task=1,
+            ),
+        ),
+    )
+    clean_spark = run(small_sort(), Scheme.SPARK)
+    failed_spark = run_workload_once(
+        small_sort(), Scheme.SPARK, 0, failure_plan
+    )
+    failed_agg = run_workload_once(
+        small_sort(), Scheme.AGGSHUFFLE, 0, failure_plan
+    )
+    assert failed_spark.injected_failures > 0
+    assert failed_agg.injected_failures > 0
+    spark_extra = (
+        failed_spark.cross_dc_by_tag.get("shuffle", 0.0)
+        - clean_spark.cross_dc_by_tag.get("shuffle", 0.0)
+    )
+    assert spark_extra > 0
+    assert failed_agg.cross_dc_by_tag.get("shuffle", 0.0) == 0.0
+
+
+def run_config_base():
+    from repro.config import SimulationConfig
+
+    return SimulationConfig()
+
+
+def test_stage_count_structure_matches_scheme():
+    spark = run(small_sort(), Scheme.SPARK)
+    agg = run(small_sort(), Scheme.AGGSHUFFLE)
+    spark_kinds = sorted(s.kind for s in spark.stages)
+    agg_kinds = sorted(s.kind for s in agg.stages)
+    assert spark_kinds == ["result", "shuffle_map"]
+    assert agg_kinds == ["result", "shuffle_map", "transfer_producer"]

@@ -1,0 +1,113 @@
+"""Text reporting: tables, timelines, traffic views, lineage dumps."""
+
+import pytest
+
+from repro.metrics.collectors import JobMetrics, StageSpan
+from repro.metrics.reporting import (
+    format_table,
+    job_report,
+    lineage_dump,
+    stage_timeline,
+    traffic_by_cause,
+    traffic_matrix,
+)
+from repro.network.traffic_monitor import TrafficMonitor
+from tests.conftest import make_context
+
+
+def test_format_table_alignment_and_separator():
+    table = format_table(
+        ["name", "value"], [["a", 1], ["long-name", 22]]
+    )
+    lines = table.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert len(lines) == 4
+    # All rows padded to consistent widths.
+    assert lines[2].split()[0] == "a"
+
+
+def test_format_table_empty_rows():
+    table = format_table(["a", "b"], [])
+    assert "a" in table
+
+
+def test_stage_timeline_renders_bars():
+    job = JobMetrics(started_at=0.0, finished_at=20.0)
+    job.stages.append(
+        StageSpan(1, "s1", "shuffle_map", submitted_at=0.0, finished_at=10.0)
+    )
+    job.stages.append(
+        StageSpan(2, "s2", "result", submitted_at=10.0, finished_at=20.0)
+    )
+    chart = stage_timeline(job, width=40)
+    lines = chart.splitlines()
+    assert "shuffle_map" in lines[1]
+    assert "result" in lines[2]
+    assert "#" in lines[1]
+    # The second stage's bar starts after the first's.
+    assert lines[2].index("#") > lines[1].index("#")
+
+
+def test_stage_timeline_empty_job():
+    assert "no stages" in stage_timeline(JobMetrics())
+
+
+def test_traffic_matrix_shows_pairs():
+    monitor = TrafficMonitor()
+    monitor.record("a", "b", 5e6, tag="shuffle")
+    monitor.record("b", "b", 1e6, tag="local")
+    text = traffic_matrix(monitor, ["a", "b"])
+    assert "5.0" in text
+    assert "cross-DC total: 5.0 MB" in text
+
+
+def test_traffic_by_cause_sorted_desc():
+    monitor = TrafficMonitor()
+    monitor.record("a", "b", 1e6, tag="small")
+    monitor.record("a", "b", 9e6, tag="big")
+    text = traffic_by_cause(monitor)
+    assert text.index("big") < text.index("small")
+
+
+def test_traffic_by_cause_empty():
+    assert "no cross-datacenter" in traffic_by_cause(TrafficMonitor())
+
+
+def test_job_report_from_real_run():
+    context = make_context(push=True)
+    context.write_input_file("/in", [[("a", 1)], [("b", 2)]])
+    context.text_file("/in").reduce_by_key(lambda a, b: a + b).collect()
+    report = job_report(
+        context.metrics.job, context.traffic, ["dc-a", "dc-b"]
+    )
+    assert "job:" in report
+    assert "src \\ dst" in report
+    context.shutdown()
+
+
+def test_lineage_dump_marks_boundaries_and_cache():
+    context = make_context(push=True)
+    context.write_input_file("/in", [[("a", 1)]])
+    rdd = (
+        context.text_file("/in")
+        .map(lambda kv: kv)
+        .cache()
+        .transfer_to("dc-b")
+        .reduce_by_key(lambda a, b: a + b)
+    )
+    dump = lineage_dump(rdd)
+    assert "{source}" in dump
+    assert "[cached]" in dump
+    assert "transfer#" in dump
+    assert "[dc-b]" in dump
+    assert "shuffle#" in dump
+    context.shutdown()
+
+
+def test_lineage_dump_auto_destination():
+    context = make_context(push=True)
+    context.write_input_file("/in", [[1]])
+    dump = lineage_dump(context.text_file("/in").transfer_to())
+    assert "[auto]" in dump
+    context.shutdown()

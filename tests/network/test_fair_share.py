@@ -1,0 +1,138 @@
+"""Max-min fair allocation: exact cases plus property-based checks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.fair_share import max_min_fair_rates, verify_allocation
+
+
+def test_single_flow_gets_bottleneck():
+    rates = max_min_fair_rates({"f": ["a", "b"]}, {"a": 10.0, "b": 4.0})
+    assert rates["f"] == pytest.approx(4.0)
+
+
+def test_two_flows_share_one_link_equally():
+    rates = max_min_fair_rates(
+        {"f1": ["l"], "f2": ["l"]}, {"l": 10.0}
+    )
+    assert rates["f1"] == pytest.approx(5.0)
+    assert rates["f2"] == pytest.approx(5.0)
+
+
+def test_unconstrained_flow_is_infinite():
+    rates = max_min_fair_rates({"free": []}, {})
+    assert math.isinf(rates["free"])
+
+
+def test_classic_three_flow_example():
+    """f1 crosses both links, f2 only link a, f3 only link b.
+
+    Link a capacity 10, link b capacity 4: filling freezes f1 and f3 at
+    2 on link b; f2 then takes the rest of link a (8).
+    """
+    rates = max_min_fair_rates(
+        {"f1": ["a", "b"], "f2": ["a"], "f3": ["b"]},
+        {"a": 10.0, "b": 4.0},
+    )
+    assert rates["f1"] == pytest.approx(2.0)
+    assert rates["f3"] == pytest.approx(2.0)
+    assert rates["f2"] == pytest.approx(8.0)
+
+
+def test_asymmetric_shares_follow_bottlenecks():
+    rates = max_min_fair_rates(
+        {"long": ["thin", "fat"], "short": ["fat"]},
+        {"thin": 1.0, "fat": 100.0},
+    )
+    assert rates["long"] == pytest.approx(1.0)
+    assert rates["short"] == pytest.approx(99.0)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        max_min_fair_rates({"f": ["l"]}, {"l": 0.0})
+
+
+def test_equal_flows_get_equal_rates():
+    flows = {f"f{i}": ["shared"] for i in range(7)}
+    rates = max_min_fair_rates(flows, {"shared": 7.0})
+    for rate in rates.values():
+        assert rate == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Property-based checks
+# ----------------------------------------------------------------------
+@st.composite
+def _scenarios(draw):
+    num_links = draw(st.integers(min_value=1, max_value=6))
+    links = {f"l{i}": draw(st.floats(0.5, 100.0)) for i in range(num_links)}
+    num_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = {}
+    for i in range(num_flows):
+        route = draw(
+            st.lists(
+                st.sampled_from(sorted(links)),
+                min_size=1,
+                max_size=num_links,
+                unique=True,
+            )
+        )
+        flows[f"f{i}"] = route
+    return flows, links
+
+
+@given(_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_allocation_is_feasible_and_work_conserving(scenario):
+    flows, links = scenario
+    rates = max_min_fair_rates(flows, links)
+    # verify_allocation asserts: no link overcommitted, and every flow
+    # is bottlenecked at a saturated link (work conservation).
+    verify_allocation(flows, links, rates)
+
+
+@given(_scenarios())
+@settings(max_examples=200, deadline=None)
+def test_rates_are_positive(scenario):
+    flows, links = scenario
+    rates = max_min_fair_rates(flows, links)
+    for flow_id in flows:
+        assert rates[flow_id] > 0
+
+
+@given(_scenarios())
+@settings(max_examples=100, deadline=None)
+def test_max_min_fairness_property(scenario):
+    """No flow can be raised without lowering an equal-or-smaller flow.
+
+    Equivalent check: for every flow there is a saturated link on its
+    route where it has the (weakly) largest rate among crossing flows.
+    """
+    flows, links = scenario
+    rates = max_min_fair_rates(flows, links)
+    usage = {link: 0.0 for link in links}
+    for flow_id, route in flows.items():
+        for link in route:
+            usage[link] += rates[flow_id]
+    for flow_id, route in flows.items():
+        has_witness = False
+        for link in route:
+            saturated = usage[link] >= links[link] * (1 - 1e-6)
+            if not saturated:
+                continue
+            crossing = [f for f, r in flows.items() if link in r]
+            if all(rates[flow_id] >= rates[other] - 1e-6 for other in crossing):
+                has_witness = True
+                break
+        assert has_witness, f"{flow_id} could be raised"
+
+
+@given(st.integers(min_value=1, max_value=20), st.floats(1.0, 1000.0))
+def test_n_identical_flows_split_evenly(n, capacity):
+    flows = {i: ["link"] for i in range(n)}
+    rates = max_min_fair_rates(flows, {"link": capacity})
+    for rate in rates.values():
+        assert rate == pytest.approx(capacity / n, rel=1e-6)

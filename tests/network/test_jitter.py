@@ -1,0 +1,130 @@
+"""Bandwidth jitter: bounds, determinism, and fabric coupling."""
+
+import pytest
+
+from repro.network.fabric import NetworkFabric
+from repro.network.jitter import BandwidthJitter, JitterSpec, StaticBandwidth
+from repro.network.topology import GBPS, MBPS, Topology
+from repro.simulation import RandomSource, Simulator
+
+
+def build():
+    sim = Simulator()
+    topo = Topology()
+    topo.add_datacenter("A")
+    topo.add_datacenter("B")
+    topo.add_host("a1", "A", access_bandwidth=GBPS, access_latency=0.0)
+    topo.add_host("b1", "B", access_bandwidth=GBPS, access_latency=0.0)
+    topo.connect_datacenters("A", "B", 200 * MBPS, latency=0.0)
+    fabric = NetworkFabric(sim, topo)
+    return sim, topo, fabric
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        JitterSpec(low=0, high=100).validate()
+    with pytest.raises(ValueError):
+        JitterSpec(low=100, high=50).validate()
+    with pytest.raises(ValueError):
+        JitterSpec(period=0).validate()
+    with pytest.raises(ValueError):
+        JitterSpec(max_step_fraction=0).validate()
+    JitterSpec().validate()
+
+
+def test_capacities_stay_within_band():
+    sim, topo, fabric = build()
+    spec = JitterSpec(low=80 * MBPS, high=300 * MBPS, period=1.0)
+    jitter = BandwidthJitter(
+        sim, fabric, topo.wan_links(), spec, RandomSource(1)
+    )
+    jitter.start()
+    observed = []
+
+    def sampler(sim):
+        for _ in range(50):
+            yield sim.timeout(1.0)
+            observed.extend(link.capacity for link in topo.wan_links())
+
+    sim.spawn(sampler(sim))
+    sim.run(until=55)
+    jitter.stop()
+    assert observed
+    for capacity in observed:
+        assert spec.low <= capacity <= spec.high
+
+
+def test_jitter_is_deterministic_per_seed():
+    def capacities_after(seed):
+        sim, topo, fabric = build()
+        jitter = BandwidthJitter(
+            sim, fabric, topo.wan_links(),
+            JitterSpec(period=1.0), RandomSource(seed),
+        )
+        jitter.start()
+        sim.run(until=10)
+        jitter.stop()
+        return [link.capacity for link in topo.wan_links()]
+
+    assert capacities_after(5) == capacities_after(5)
+    assert capacities_after(5) != capacities_after(6)
+
+
+def test_jitter_changes_transfer_times():
+    """A long transfer under jitter differs from the static case."""
+    def transfer_time(with_jitter):
+        sim, topo, fabric = build()
+        if with_jitter:
+            jitter = BandwidthJitter(
+                sim, fabric, topo.wan_links(),
+                JitterSpec(low=80 * MBPS, high=300 * MBPS, period=0.5),
+                RandomSource(42),
+            )
+            jitter.start()
+        done = fabric.transfer("a1", "b1", 100_000_000)
+        sim.run_until_event(done)
+        return sim.now
+
+    static = transfer_time(False)
+    jittered = transfer_time(True)
+    assert static == pytest.approx(4.0)  # 100 MB at 25 MB/s
+    assert jittered != pytest.approx(4.0)
+    # Band [80, 300] Mbps bounds the possible duration.
+    assert 100e6 / (300 * MBPS) <= jittered <= 100e6 / (80 * MBPS)
+
+
+def test_only_wan_links_are_perturbed():
+    sim, topo, fabric = build()
+    access = topo.host("a1").uplink
+    before = access.capacity
+    jitter = BandwidthJitter(
+        sim, fabric,
+        list(topo.wan_links()) + [access],
+        JitterSpec(period=1.0),
+        RandomSource(0),
+    )
+    jitter.start()
+    sim.run(until=5)
+    jitter.stop()
+    assert access.capacity == before
+
+
+def test_start_is_idempotent():
+    sim, topo, fabric = build()
+    jitter = BandwidthJitter(
+        sim, fabric, topo.wan_links(), JitterSpec(period=1.0), RandomSource(0)
+    )
+    jitter.start()
+    capacity = next(iter(topo.wan_links())).capacity
+    jitter.start()
+    assert next(iter(topo.wan_links())).capacity == capacity
+    jitter.stop()
+
+
+def test_static_bandwidth_pins_capacity():
+    _sim, topo, _fabric = build()
+    StaticBandwidth(topo.wan_links(), 123 * MBPS)
+    for link in topo.wan_links():
+        assert link.capacity == pytest.approx(123 * MBPS)
+    with pytest.raises(ValueError):
+        StaticBandwidth(topo.wan_links(), 0)

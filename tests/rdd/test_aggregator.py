@@ -1,0 +1,103 @@
+"""Aggregator: combine semantics and equivalence with plain Python."""
+
+from collections import Counter, defaultdict
+
+from hypothesis import given, strategies as st
+
+from repro.rdd.aggregator import Aggregator
+
+pairs = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(-100, 100)), max_size=200
+)
+
+
+def test_reduce_aggregator_sums():
+    aggregator = Aggregator.from_reduce_function(lambda a, b: a + b)
+    combined = dict(
+        aggregator.combine_values([("a", 1), ("b", 2), ("a", 3)])
+    )
+    assert combined == {"a": 4, "b": 2}
+
+
+def test_group_aggregator_collects_lists():
+    aggregator = Aggregator.group_by_key()
+    combined = dict(
+        aggregator.combine_values([("a", 1), ("b", 2), ("a", 3)])
+    )
+    assert combined == {"a": [1, 3], "b": [2]}
+
+
+def test_combine_combiners_merges_partials():
+    aggregator = Aggregator.from_reduce_function(lambda a, b: a + b)
+    left = aggregator.combine_values([("k", 1), ("k", 2)])
+    right = aggregator.combine_values([("k", 10), ("j", 5)])
+    merged = dict(aggregator.combine_combiners(left + right))
+    assert merged == {"k": 13, "j": 5}
+
+
+def test_group_combiners_merge_lists():
+    aggregator = Aggregator.group_by_key()
+    left = aggregator.combine_values([("k", 1)])
+    right = aggregator.combine_values([("k", 2), ("k", 3)])
+    merged = dict(aggregator.combine_combiners(left + right))
+    assert merged == {"k": [1, 2, 3]}
+
+
+def test_empty_input_gives_empty_output():
+    aggregator = Aggregator.from_reduce_function(lambda a, b: a + b)
+    assert aggregator.combine_values([]) == []
+    assert aggregator.combine_combiners([]) == []
+
+
+@given(pairs)
+def test_sum_aggregator_matches_counter(records):
+    aggregator = Aggregator.from_reduce_function(lambda a, b: a + b)
+    combined = dict(aggregator.combine_values(records))
+    expected = Counter()
+    for key, value in records:
+        expected[key] += value
+    assert combined == {k: v for k, v in expected.items()}
+
+
+@given(pairs)
+def test_group_aggregator_matches_defaultdict(records):
+    aggregator = Aggregator.group_by_key()
+    combined = dict(aggregator.combine_values(records))
+    expected = defaultdict(list)
+    for key, value in records:
+        expected[key].append(value)
+    assert combined == dict(expected)
+
+
+@given(pairs, st.integers(min_value=1, max_value=5))
+def test_split_combine_equals_whole_combine(records, splits):
+    """Combining per-split then merging combiners == combining at once.
+
+    This is the algebraic property map-side combine (and the paper's
+    pre-transfer combine) relies on for correctness.
+    """
+    aggregator = Aggregator.from_reduce_function(lambda a, b: a + b)
+    whole = dict(aggregator.combine_values(records))
+    chunks = [records[i::splits] for i in range(splits)]
+    partials = []
+    for chunk in chunks:
+        partials.extend(aggregator.combine_values(chunk))
+    merged = dict(aggregator.combine_combiners(partials))
+    assert merged == whole
+
+
+@given(pairs, st.integers(min_value=1, max_value=5))
+def test_split_group_equals_whole_group_up_to_order(records, splits):
+    aggregator = Aggregator.group_by_key()
+    whole = {
+        k: sorted(v)
+        for k, v in aggregator.combine_values(list(records))
+    }
+    partials = []
+    for i in range(splits):
+        partials.extend(aggregator.combine_values(records[i::splits]))
+    merged = {
+        k: sorted(v)
+        for k, v in aggregator.combine_combiners(partials)
+    }
+    assert merged == whole

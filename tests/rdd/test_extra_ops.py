@@ -1,0 +1,174 @@
+"""Extended RDD operations (coalesce, sample, aggregateByKey, ...)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import PartitionError, RDDError
+from tests.conftest import make_context
+
+
+def install(context, partitions, path="/in"):
+    context.write_input_file(path, partitions)
+    return context.text_file(path)
+
+
+@pytest.fixture(params=[False, True], ids=["fetch", "push"])
+def context(request):
+    ctx = make_context(push=request.param)
+    yield ctx
+    ctx.shutdown()
+
+
+def test_coalesce_reduces_partition_count(context):
+    rdd = install(context, [[1], [2], [3], [4], [5]])
+    coalesced = rdd.coalesce(2)
+    assert coalesced.num_partitions == 2
+    assert sorted(coalesced.collect()) == [1, 2, 3, 4, 5]
+
+
+def test_coalesce_noop_when_already_small(context):
+    rdd = install(context, [[1], [2]])
+    assert rdd.coalesce(5) is rdd
+
+
+def test_coalesce_validation(context):
+    rdd = install(context, [[1]])
+    with pytest.raises(PartitionError):
+        rdd.coalesce(0)
+
+
+def test_coalesce_then_shuffle(context):
+    rdd = install(context, [[("a", 1)], [("a", 2)], [("b", 3)], [("b", 4)]])
+    result = dict(
+        rdd.coalesce(2).reduce_by_key(lambda a, b: a + b).collect()
+    )
+    assert result == {"a": 3, "b": 7}
+
+
+def test_sample_fraction_extremes(context):
+    rdd = install(context, [list(range(50)), list(range(50, 100))])
+    assert rdd.sample(0.0).collect() == []
+    assert sorted(rdd.sample(1.0).collect()) == list(range(100))
+
+
+def test_sample_is_deterministic_and_roughly_sized(context):
+    rdd = install(context, [list(range(500))])
+    first = rdd.sample(0.3, seed=1).collect()
+    second = rdd.sample(0.3, seed=1).collect()
+    assert first == second
+    assert 80 < len(first) < 220
+
+
+def test_sample_validation(context):
+    rdd = install(context, [[1]])
+    with pytest.raises(RDDError):
+        rdd.sample(1.5)
+
+
+def test_aggregate_by_key_mean_style(context):
+    rdd = install(
+        context, [[("a", 1), ("a", 3)], [("a", 5), ("b", 7)]]
+    )
+    sums_counts = rdd.aggregate_by_key(
+        zero_factory=lambda: (0, 0),
+        seq_op=lambda acc, v: (acc[0] + v, acc[1] + 1),
+        comb_op=lambda x, y: (x[0] + y[0], x[1] + y[1]),
+    )
+    result = dict(sums_counts.collect())
+    assert result == {"a": (9, 3), "b": (7, 1)}
+
+
+def test_combine_by_key_builds_lists(context):
+    rdd = install(context, [[("a", 1)], [("a", 2), ("b", 3)]])
+    combined = rdd.combine_by_key(
+        create_combiner=lambda v: [v],
+        merge_value=lambda acc, v: acc + [v],
+        merge_combiners=lambda x, y: x + y,
+    )
+    result = {k: sorted(v) for k, v in combined.collect()}
+    assert result == {"a": [1, 2], "b": [3]}
+
+
+def test_count_by_key(context):
+    rdd = install(context, [[("a", 1), ("a", 2)], [("b", 9)]])
+    assert rdd.count_by_key() == {"a": 2, "b": 1}
+
+
+def test_reduce_action(context):
+    rdd = install(context, [[1, 2, 3], [4, 5]])
+    assert rdd.reduce(lambda a, b: a + b) == 15
+
+
+def test_reduce_with_empty_partitions(context):
+    rdd = install(context, [[], [7], []])
+    assert rdd.reduce(lambda a, b: a + b) == 7
+
+
+def test_reduce_empty_rdd_raises(context):
+    rdd = install(context, [[], []])
+    with pytest.raises(RDDError):
+        rdd.reduce(lambda a, b: a + b)
+
+
+def test_take_and_first(context):
+    rdd = install(context, [[10, 20], [30]])
+    assert rdd.take(2) == [10, 20]
+    assert rdd.take(0) == []
+    assert rdd.first() == 10
+    with pytest.raises(RDDError):
+        rdd.take(-1)
+
+
+def test_first_on_empty_raises(context):
+    rdd = install(context, [[], []])
+    with pytest.raises(RDDError):
+        rdd.first()
+
+
+def test_sort_by(context):
+    rdd = install(context, [["banana", "apple"], ["cherry"]])
+    result = rdd.sort_by(
+        key_func=lambda s: s, sample_keys=["a", "b", "c"], num_partitions=2
+    )
+    assert result.collect() == ["apple", "banana", "cherry"]
+
+
+def test_sort_by_descending(context):
+    rdd = install(context, [[3, 1], [2]])
+    result = rdd.sort_by(
+        key_func=lambda x: x, sample_keys=[1, 2, 3],
+        num_partitions=1, ascending=False,
+    )
+    assert result.collect() == [3, 2, 1]
+
+
+def test_zip_with_index(context):
+    rdd = install(context, [["a", "b"], ["c"], ["d", "e"]])
+    result = rdd.zip_with_index().collect()
+    assert result == [
+        ("a", 0), ("b", 1), ("c", 2), ("d", 3), ("e", 4),
+    ]
+
+
+def test_zip_with_index_then_filter(context):
+    rdd = install(context, [list("abcdef")])
+    evens = rdd.zip_with_index().filter(lambda ri: ri[1] % 2 == 0)
+    assert [r for r, _i in evens.collect()] == ["a", "c", "e"]
+
+
+def test_aggregate_by_key_matches_counter(context):
+    data = [[("x", i) for i in range(10)], [("y", i) for i in range(5)]]
+    rdd = install(context, data)
+    totals = dict(
+        rdd.aggregate_by_key(
+            zero_factory=lambda: 0,
+            seq_op=lambda acc, v: acc + v,
+            comb_op=lambda a, b: a + b,
+        ).collect()
+    )
+    expected = Counter()
+    for part in data:
+        for key, value in part:
+            expected[key] += value
+    assert totals == dict(expected)

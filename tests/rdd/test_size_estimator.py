@@ -1,0 +1,81 @@
+"""Logical size estimation and SizedRecord semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rdd.size_estimator import SizeEstimator, SizedRecord, natural_size
+
+
+def test_sized_record_overrides_heuristic():
+    record = SizedRecord({"big": "payload"}, natural_size=1e9)
+    assert natural_size(record) == 1e9
+
+
+def test_sized_record_rejects_negative_size():
+    with pytest.raises(ValueError):
+        SizedRecord(None, natural_size=-1)
+
+
+def test_sized_record_equality_and_hash():
+    a = SizedRecord("x", 10)
+    b = SizedRecord("x", 10)
+    c = SizedRecord("x", 20)
+    assert a == b
+    assert a != c
+    assert hash(a) == hash(b)
+
+
+def test_primitive_sizes_are_positive_and_ordered():
+    assert natural_size(1) > 0
+    assert natural_size("hello") > natural_size(1)
+    assert natural_size("a" * 100) > natural_size("a")
+    assert natural_size(b"bytes") > 0
+    assert natural_size(None) > 0
+    assert natural_size(True) > 0
+
+
+def test_container_sizes_sum_members():
+    assert natural_size((1, 2)) > natural_size(1) + natural_size(2)
+    assert natural_size([1, 2, 3]) > natural_size([1])
+    assert natural_size({"k": 1}) > natural_size({})
+
+
+def test_unknown_object_gets_base_size():
+    class Opaque:
+        pass
+
+    assert natural_size(Opaque()) > 0
+
+
+def test_estimator_scales_sizes():
+    plain = SizeEstimator(scale_factor=1.0)
+    scaled = SizeEstimator(scale_factor=1000.0)
+    records = [(f"w{i}", i) for i in range(10)]
+    assert scaled.estimate(records) == pytest.approx(
+        1000.0 * plain.estimate(records)
+    )
+
+
+def test_estimator_rejects_bad_scale():
+    with pytest.raises(ValueError):
+        SizeEstimator(scale_factor=0)
+
+
+def test_estimate_with_count():
+    estimator = SizeEstimator()
+    size, count = estimator.estimate_with_count([1, 2, 3])
+    assert count == 3
+    assert size == pytest.approx(estimator.estimate([1, 2, 3]))
+
+
+@given(st.lists(st.one_of(st.integers(), st.text(max_size=20))))
+def test_estimate_is_additive(records):
+    estimator = SizeEstimator()
+    total = estimator.estimate(records)
+    parts = sum(estimator.estimate([r]) for r in records)
+    assert total == pytest.approx(parts)
+
+
+@given(st.lists(st.integers(), max_size=50))
+def test_estimate_nonnegative(records):
+    assert SizeEstimator().estimate(records) >= 0

@@ -1,0 +1,88 @@
+"""Broadcast variables: caching, traffic, and map_with_broadcast."""
+
+import pytest
+
+import repro.cluster  # ensures broadcast support is installed
+from tests.conftest import make_context
+
+
+def test_broadcast_value_accessible_at_driver(fetch_context):
+    variable = fetch_context.broadcast({"model": [1, 2, 3]})
+    assert variable.value == {"model": [1, 2, 3]}
+    assert variable.holders() == [fetch_context.driver_host]
+
+
+def test_map_with_broadcast_applies_value(fetch_context):
+    context = fetch_context
+    context.write_input_file("/in", [[1, 2], [3]])
+    lookup = context.broadcast(10)
+    result = (
+        context.text_file("/in")
+        .map_with_broadcast(lambda record, factor: record * factor, lookup)
+        .collect()
+    )
+    assert result == [10, 20, 30]
+
+
+def test_broadcast_charged_once_per_host(fetch_context):
+    context = fetch_context
+    # 4 partitions on the same host: one fetch, three cache hits.
+    context.write_input_file(
+        "/in", [[i] for i in range(4)],
+        placement_hosts=["dc-b-w0"] * 4,
+    )
+    payload = context.broadcast("m" * 10_000)
+    context.text_file("/in").map_with_broadcast(
+        lambda record, _value: record, payload
+    ).collect()
+    broadcast_bytes = context.traffic.by_tag.get("broadcast", 0.0)
+    assert broadcast_bytes == pytest.approx(payload.size_bytes)
+    assert "dc-b-w0" in payload.holders()
+
+
+def test_broadcast_fetches_from_same_datacenter_when_possible(fetch_context):
+    context = fetch_context
+    # First stage pulls the value into dc-b-w0; the second stage's task
+    # on dc-b-w1 must fetch from its neighbour, not across the WAN.
+    context.write_input_file("/a", [[1]], placement_hosts=["dc-b-w0"])
+    context.write_input_file("/b", [[2]], placement_hosts=["dc-b-w1"])
+    payload = context.broadcast("x" * 50_000)
+    context.text_file("/a").map_with_broadcast(
+        lambda r, _v: r, payload
+    ).collect()
+    cross_before = context.traffic.cross_dc_by_tag.get("broadcast", 0.0)
+    context.text_file("/b").map_with_broadcast(
+        lambda r, _v: r, payload
+    ).collect()
+    cross_after = context.traffic.cross_dc_by_tag.get("broadcast", 0.0)
+    assert cross_after == cross_before  # second fetch stayed in dc-b
+
+
+def test_destroy_releases_executor_copies(fetch_context):
+    context = fetch_context
+    context.write_input_file("/in", [[1]], placement_hosts=["dc-a-w0"])
+    payload = context.broadcast([1, 2, 3])
+    context.text_file("/in").map_with_broadcast(
+        lambda r, _v: r, payload
+    ).collect()
+    assert len(payload.holders()) == 2
+    payload.destroy()
+    assert payload.holders() == [context.driver_host]
+
+
+def test_iterative_rebroadcast_pattern(push_context):
+    """A k-means-style loop: new broadcast per iteration, correct math."""
+    context = push_context
+    points = [[(float(i), 1)] for i in range(6)]
+    context.write_input_file("/points", points)
+    rdd = context.text_file("/points")
+    center = 0.0
+    for _iteration in range(3):
+        current = context.broadcast(center)
+        shifted = rdd.map_with_broadcast(
+            lambda record, c: (record[0] - c, record[1]), current
+        )
+        total = shifted.reduce(lambda a, b: (a[0] + b[0], a[1] + b[1]))
+        center = center + total[0] / total[1]
+    # The mean of 0..5 is 2.5; the loop converges there in one step.
+    assert center == pytest.approx(2.5)

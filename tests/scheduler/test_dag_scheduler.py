@@ -1,0 +1,136 @@
+"""DAGScheduler behaviour: pipelining, placement, reuse, failure paths."""
+
+import pytest
+
+from repro.errors import ReproError
+from tests.conftest import make_context
+
+
+def install(context, partitions, path="/in"):
+    context.write_input_file(path, partitions)
+    return context.text_file(path)
+
+
+def test_receiver_tasks_pipeline_with_producers():
+    """A receiver must start before the *whole* producer stage is done.
+
+    We give the producer stage one slow partition; the other partition's
+    receiver should complete long before the slow producer finishes.
+    """
+    from repro.rdd.size_estimator import SizedRecord
+
+    context = make_context(push=True)
+    small = [("a", 1)]
+    # A partition whose logical volume makes its producer task slow.
+    big = [("b", SizedRecord("x", natural_size=5e8))]
+    install(context, [small, big])
+    moved = context.text_file("/in").map(lambda r: r).transfer_to("dc-b")
+    moved.collect()
+    spans = context.metrics.job.stages
+    by_kind = {span.kind: span for span in spans}
+    producer = by_kind["transfer_producer"]
+    receiver = by_kind["result"]
+    first_receiver_end = min(t.finished_at for t in receiver.tasks)
+    last_producer_end = max(t.finished_at for t in producer.tasks)
+    assert first_receiver_end < last_producer_end
+    context.shutdown()
+
+
+def test_map_tasks_run_where_their_blocks_live(fetch_context):
+    context = fetch_context
+    context.write_input_file(
+        "/in", [[1], [2]], placement_hosts=["dc-a-w0", "dc-b-w1"]
+    )
+    context.text_file("/in").map(lambda x: x).collect()
+    spans = context.metrics.job.stages
+    hosts = {t.partition: t.host for t in spans[0].tasks}
+    assert hosts == {0: "dc-a-w0", 1: "dc-b-w1"}
+
+
+def test_reducers_prefer_aggregated_shuffle_input():
+    context = make_context(push=True)
+    context.write_input_file(
+        "/in",
+        [[("k%d" % i, 1)] * 3 for i in range(4)],
+    )
+    reduced = context.text_file("/in").transfer_to("dc-b").reduce_by_key(
+        lambda a, b: a + b
+    )
+    reduced.collect()
+    # Only reducers that actually receive input carry a locality
+    # preference; empty partitions may run anywhere.
+    partitioner = reduced.partitioner
+    non_empty = {partitioner.partition(f"k{i}") for i in range(4)}
+    result_span = [
+        s for s in context.metrics.job.stages if s.kind == "result"
+    ][0]
+    for task in result_span.tasks:
+        if task.partition in non_empty:
+            assert context.topology.datacenter_of(task.host) == "dc-b"
+    context.shutdown()
+
+
+def test_completed_shuffle_stage_reused_across_jobs(fetch_context):
+    context = fetch_context
+    rdd = install(context, [[("a", 1), ("a", 2)], [("b", 3)]])
+    reduced = rdd.reduce_by_key(lambda a, b: a + b)
+    first = dict(reduced.collect())
+    stages_after_first = len(context.metrics.job.stages)
+    second = dict(reduced.map(lambda kv: kv).collect())
+    assert first == {"a": 3, "b": 3}
+    assert second == first
+    # The second job must not have re-run the shuffle-map stage.
+    second_job_kinds = [
+        s.kind for s in context.metrics.job.stages[stages_after_first:]
+    ]
+    assert "shuffle_map" not in second_job_kinds
+
+
+def test_collect_result_ships_to_driver(fetch_context):
+    context = fetch_context
+    install(context, [["x" * 1000] * 10])
+    context.text_file("/in").collect()
+    assert context.traffic.by_tag["result"] > 0
+
+
+def test_failing_user_function_raises_to_caller(fetch_context):
+    rdd = install(fetch_context, [[1, 2], [3]])
+
+    def bad(record):
+        raise ValueError("user code error")
+
+    with pytest.raises(ValueError):
+        rdd.map(bad).collect()
+
+
+def test_unknown_action_rejected(fetch_context):
+    from repro.errors import SchedulerError
+
+    rdd = install(fetch_context, [[1]])
+    job = fetch_context.dag_scheduler.run_job(rdd, "frobnicate")
+    process = fetch_context.sim.spawn(job)
+    with pytest.raises(SchedulerError):
+        fetch_context.sim.run_until_event(process)
+
+
+def test_stage_metrics_recorded(fetch_context):
+    rdd = install(fetch_context, [[("a", 1)], [("b", 2)]])
+    rdd.reduce_by_key(lambda a, b: a + b).collect()
+    job = fetch_context.metrics.job
+    assert job.finished_at is not None
+    assert len(job.stages) == 2
+    for span in job.stages:
+        assert span.finished_at is not None
+        assert span.tasks
+    total_tasks = sum(len(span.tasks) for span in job.stages)
+    assert total_tasks == 2 + fetch_context.default_parallelism
+
+
+def test_push_jobs_count_no_shuffle_tag_cross_dc():
+    """Under AggShuffle the reduce-side fetch is datacenter-local."""
+    context = make_context(push=True)
+    install(context, [[("a", 1)], [("b", 2)], [("c", 3)], [("d", 4)]])
+    context.text_file("/in").reduce_by_key(lambda a, b: a + b).collect()
+    cross_shuffle = context.traffic.cross_dc_by_tag.get("shuffle", 0.0)
+    assert cross_shuffle == 0.0
+    context.shutdown()

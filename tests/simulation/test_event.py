@@ -1,0 +1,171 @@
+"""Events: firing, callbacks, and composition."""
+
+import pytest
+
+from repro.errors import EventAlreadyFiredError, SimulationError
+from repro.simulation import Simulator
+
+
+def test_event_starts_pending():
+    sim = Simulator()
+    event = sim.event("e")
+    assert not event.triggered
+    assert not event.ok
+    assert not event.failed
+
+
+def test_succeed_delivers_value():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(42)
+    sim.run()
+    assert event.ok
+    assert event.value == 42
+
+
+def test_fail_delivers_error():
+    sim = Simulator()
+    event = sim.event()
+    error = RuntimeError("boom")
+    event.fail(error)
+    sim.run()
+    assert event.failed
+    with pytest.raises(RuntimeError):
+        _ = event.value
+
+
+def test_value_before_firing_raises():
+    sim = Simulator()
+    event = sim.event("pending")
+    with pytest.raises(EventAlreadyFiredError):
+        _ = event.value
+
+
+def test_double_succeed_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(EventAlreadyFiredError):
+        event.succeed(2)
+
+
+def test_succeed_after_fail_raises():
+    sim = Simulator()
+    event = sim.event()
+    event.fail(ValueError("x"))
+    with pytest.raises(EventAlreadyFiredError):
+        event.succeed(1)
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    event = sim.event()
+    with pytest.raises(TypeError):
+        event.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_callbacks_run_on_delivery():
+    sim = Simulator()
+    event = sim.event()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    event.succeed("hello")
+    assert seen == []  # not yet delivered
+    sim.run()
+    assert seen == ["hello"]
+
+
+def test_callback_added_after_delivery_runs_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(7)
+    sim.run()
+    seen = []
+    event.add_callback(lambda e: seen.append(e.value))
+    assert seen == [7]
+
+
+def test_timeout_fires_at_deadline():
+    sim = Simulator()
+    timeout = sim.timeout(5.0, value="done")
+    sim.run()
+    assert sim.now == 5.0
+    assert timeout.value == "done"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_cannot_be_refired():
+    sim = Simulator()
+    timeout = sim.timeout(1.0)
+    with pytest.raises(EventAlreadyFiredError):
+        timeout.succeed()
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    a = sim.timeout(2.0, value="a")
+    b = sim.timeout(1.0, value="b")
+    both = sim.all_of([a, b])
+    sim.run()
+    assert both.value == ["a", "b"]
+    assert sim.now == 2.0
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    combined = sim.all_of([])
+    assert combined.triggered
+    sim.run()
+    assert combined.value == []
+
+
+def test_all_of_fails_if_any_child_fails():
+    sim = Simulator()
+    good = sim.timeout(1.0)
+    bad = sim.event()
+    combined = sim.all_of([good, bad])
+    bad.fail(RuntimeError("child"))
+    sim.run()
+    assert combined.failed
+
+
+def test_any_of_fires_with_first_index_and_value():
+    sim = Simulator()
+    slow = sim.timeout(10.0, value="slow")
+    fast = sim.timeout(1.0, value="fast")
+    first = sim.any_of([slow, fast])
+    sim.run_until_event(first)
+    assert first.value == (1, "fast")
+    assert sim.now == 1.0
+
+
+def test_any_of_requires_children():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.any_of([])
+
+
+def test_any_of_ignores_later_failures():
+    sim = Simulator()
+    fast = sim.timeout(1.0, value="ok")
+    late_fail = sim.event()
+    first = sim.any_of([fast, late_fail])
+    sim.run()
+    assert first.value == (0, "ok")
+    late_fail.fail(RuntimeError("late"))
+    sim.run()
+    assert first.ok
+
+
+def test_nested_composition():
+    sim = Simulator()
+    inner = sim.all_of([sim.timeout(1.0, value=1), sim.timeout(2.0, value=2)])
+    outer = sim.any_of([inner, sim.timeout(10.0)])
+    sim.run_until_event(outer)
+    assert outer.value == (0, [1, 2])
+    assert sim.now == 2.0

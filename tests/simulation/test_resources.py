@@ -1,0 +1,126 @@
+"""Resource (slots) and Store (queue) primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation import Simulator
+from repro.simulation.resources import Resource, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    first = resource.acquire()
+    second = resource.acquire()
+    third = resource.acquire()
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.in_use == 2
+    assert resource.queue_length == 1
+
+
+def test_release_wakes_fifo_waiter():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    resource.acquire()
+    waiter_a = resource.acquire()
+    waiter_b = resource.acquire()
+    resource.release()
+    assert waiter_a.triggered
+    assert not waiter_b.triggered
+
+
+def test_release_without_acquire_raises():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_serialises_workers():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    finish_times = []
+
+    def worker(sim):
+        yield resource.acquire()
+        yield sim.timeout(3.0)
+        resource.release()
+        finish_times.append(sim.now)
+
+    for _ in range(3):
+        sim.spawn(worker(sim))
+    sim.run()
+    assert finish_times == [3.0, 6.0, 9.0]
+
+
+def test_resource_parallelism_matches_capacity():
+    sim = Simulator()
+    resource = Resource(sim, capacity=4)
+    finish_times = []
+
+    def worker(sim):
+        yield resource.acquire()
+        yield sim.timeout(2.0)
+        resource.release()
+        finish_times.append(sim.now)
+
+    for _ in range(8):
+        sim.spawn(worker(sim))
+    sim.run()
+    assert finish_times == [2.0] * 4 + [4.0] * 4
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    request = store.get()
+    assert request.triggered
+    sim.run()
+    assert request.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    request = store.get()
+    assert not request.triggered
+    store.put(99)
+    sim.run()
+    assert request.value == 99
+
+
+def test_store_is_fifo_for_items_and_getters():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    first = store.get()
+    second = store.get()
+    sim.run()
+    assert (first.value, second.value) == (1, 2)
+
+    getter_a = store.get()
+    getter_b = store.get()
+    store.put("a")
+    store.put("b")
+    sim.run()
+    assert (getter_a.value, getter_b.value) == ("a", "b")
+
+
+def test_store_len_reflects_buffered_items():
+    sim = Simulator()
+    store = Store(sim)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    store.get()
+    assert len(store) == 1

@@ -1,0 +1,61 @@
+"""CLI smoke tests (fast paths only)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import clear_data_cache
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_data_cache()
+    yield
+    clear_data_cache()
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_scheme_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "sort", "--scheme", "warp-drive"])
+
+
+def test_run_command_prints_summary(capsys):
+    code = main(["run", "sort", "--scheme", "spark"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Sort / Spark" in out
+    assert "completion time" in out
+    assert "stages:" in out
+
+
+def test_compare_command_prints_table(capsys):
+    code = main(["compare", "sort", "--seeds", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    for scheme in ("Spark", "Centralized", "AggShuffle"):
+        assert scheme in out
+
+
+def test_lineage_command_shows_transfers(capsys):
+    code = main(["lineage", "sort", "--scheme", "aggshuffle"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "transfer#" in out
+    assert "shuffle#" in out
+
+
+def test_lineage_without_aggregation_has_no_transfers(capsys):
+    code = main(["lineage", "sort", "--scheme", "spark"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "transfer#" not in out
+    assert "shuffle#" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(KeyError):
+        main(["run", "mystery"])

@@ -1,0 +1,96 @@
+"""Cluster specifications and topology building (Fig. 6)."""
+
+import pytest
+
+from repro.cluster.builder import (
+    EC2_REGIONS,
+    ClusterSpec,
+    build_topology,
+    ec2_six_region_spec,
+    two_datacenter_spec,
+)
+from repro.errors import ConfigurationError
+from repro.network.topology import MBPS
+
+
+def test_fig6_cluster_shape():
+    """Six regions, four workers each, master in N. Virginia."""
+    spec = ec2_six_region_spec()
+    assert len(spec.datacenters) == 6
+    assert spec.workers_per_datacenter == 4
+    assert spec.resolved_driver_datacenter == "us-east-1"
+    assert len(spec.worker_names()) == 24
+
+
+def test_fig6_topology_builds_and_validates():
+    topology = build_topology(ec2_six_region_spec())
+    # 24 workers + 1 dedicated driver host.
+    assert len(topology.all_host_names()) == 25
+    assert topology.datacenter_of("us-east-1-driver") == "us-east-1"
+    # Full WAN mesh.
+    for src in EC2_REGIONS:
+        for dst in EC2_REGIONS:
+            if src != dst:
+                assert topology.wan_link(src, dst) is not None
+
+
+def test_wan_latencies_are_region_specific():
+    topology = build_topology(ec2_six_region_spec())
+    nearby = topology.wan_link("us-east-1", "us-west-1").latency
+    far = topology.wan_link("sa-east-1", "ap-southeast-1").latency
+    assert far > nearby
+
+
+def test_gateways_installed_by_default():
+    spec = ec2_six_region_spec()
+    topology = build_topology(spec)
+    for name in spec.datacenters:
+        dc = topology.datacenters[name]
+        assert dc.wan_in is not None
+        assert dc.wan_out is not None
+        assert dc.wan_in.capacity == pytest.approx(spec.gateway_bandwidth)
+
+
+def test_gateways_can_be_disabled():
+    spec = ClusterSpec(datacenters=("a", "b"), gateway_bandwidth=None)
+    topology = build_topology(spec)
+    assert topology.datacenters["a"].wan_in is None
+    route = topology.route("a-w0", "b-w0")
+    assert len(route) == 3  # up, wan, down
+
+
+def test_driver_host_name_convention():
+    spec = two_datacenter_spec()
+    assert spec.driver_host_name == "dc-a-driver"
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(datacenters=()).validate()
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(datacenters=("a", "a")).validate()
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(datacenters=("a",), workers_per_datacenter=0).validate()
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(
+            datacenters=("a",), driver_datacenter="missing"
+        ).validate()
+
+
+def test_single_datacenter_cluster_builds():
+    spec = ClusterSpec(datacenters=("solo",), workers_per_datacenter=2)
+    topology = build_topology(spec)
+    assert topology.route("solo-w0", "solo-w1")
+
+
+def test_custom_bandwidths_respected():
+    spec = ClusterSpec(
+        datacenters=("a", "b"),
+        inter_dc_bandwidth=42 * MBPS,
+        gateway_bandwidth=84 * MBPS,
+    )
+    topology = build_topology(spec)
+    assert topology.wan_link("a", "b").capacity == pytest.approx(42 * MBPS)
+    assert topology.datacenters["a"].wan_out.capacity == pytest.approx(
+        84 * MBPS
+    )

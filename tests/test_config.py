@@ -1,0 +1,83 @@
+"""Configuration objects: validation and derived helpers."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CostModel,
+    FailureConfig,
+    SchedulingConfig,
+    ShuffleConfig,
+    SimulationConfig,
+    agg_shuffle_config,
+    fetch_config,
+)
+from repro.errors import ConfigurationError
+
+
+def test_cost_model_times():
+    cost = CostModel(cpu_bytes_per_second=10e6, sort_factor=2.0,
+                     combine_factor=0.5, shuffle_write_factor=0.1)
+    assert cost.compute_time(10e6) == pytest.approx(1.0)
+    assert cost.sort_time(10e6) == pytest.approx(2.0)
+    assert cost.combine_time(10e6) == pytest.approx(0.5)
+    assert cost.shuffle_write_time(10e6) == pytest.approx(0.1)
+
+
+def test_cost_model_per_record_overhead():
+    cost = CostModel(cpu_bytes_per_second=1e6, seconds_per_record=0.01)
+    assert cost.compute_time(0, records=10) == pytest.approx(0.1)
+
+
+def test_cost_model_rejects_negative():
+    with pytest.raises(ValueError):
+        CostModel().compute_time(-1)
+    with pytest.raises(ValueError):
+        CostModel().compute_time(1, records=-1)
+
+
+def test_shuffle_config_validation():
+    with pytest.raises(ConfigurationError):
+        ShuffleConfig(push_based=False, auto_aggregate=True).validate()
+    with pytest.raises(ConfigurationError):
+        ShuffleConfig(aggregation_subset_size=0).validate()
+    ShuffleConfig(push_based=True, auto_aggregate=True).validate()
+
+
+def test_simulation_config_validation():
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(SimulationConfig(), cores_per_host=0).validate()
+    with pytest.raises(ConfigurationError):
+        dataclasses.replace(SimulationConfig(), scale_factor=0).validate()
+    SimulationConfig().validate()
+
+
+def test_fetch_and_agg_presets():
+    fetch = fetch_config(seed=5)
+    assert not fetch.shuffle.push_based
+    assert fetch.seed == 5
+    agg = agg_shuffle_config()
+    assert agg.shuffle.push_based and agg.shuffle.auto_aggregate
+
+
+def test_with_helpers_do_not_mutate():
+    base = SimulationConfig()
+    reseeded = base.with_seed(9)
+    assert base.seed == 0 and reseeded.seed == 9
+    reshuffled = base.with_shuffle(ShuffleConfig(push_based=True))
+    assert not base.shuffle.push_based
+    assert reshuffled.shuffle.push_based
+
+
+def test_default_scheduling_values_documented():
+    scheduling = SchedulingConfig()
+    assert scheduling.reducer_pref_fraction == pytest.approx(0.2)
+    assert scheduling.max_task_attempts >= 1
+    assert scheduling.receiver_datacenter_wait > (
+        scheduling.locality_wait_datacenter
+    )
+
+
+def test_failure_config_defaults_off():
+    assert FailureConfig().reducer_failure_probability == 0.0

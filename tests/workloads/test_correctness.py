@@ -1,0 +1,172 @@
+"""Workload correctness: simulated results equal plain-Python references,
+under both shuffle mechanisms, on scaled-down specs."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulation import RandomSource
+from repro.workloads import (
+    NAIVE_BAYES,
+    PAGERANK,
+    SORT,
+    TERASORT,
+    WORDCOUNT,
+    NaiveBayes,
+    PageRank,
+    Sort,
+    TeraSort,
+    WordCount,
+)
+from repro.workloads.text_gen import TextGenerator
+from tests.conftest import make_context
+
+
+def shrink(spec, partitions=4, records=6):
+    return dataclasses.replace(
+        spec, input_partitions=partitions, records_per_partition=records
+    )
+
+
+def run_workload(workload, push, seed=0):
+    context = make_context(push=push, seed=seed)
+    partitions = workload.generate(RandomSource(seed))
+    workload.install(context, partitions)
+    result = workload.run(context)
+    return context, partitions, result
+
+
+@pytest.fixture(params=[False, True], ids=["fetch", "push"])
+def push(request):
+    return request.param
+
+
+def test_wordcount_matches_reference(push):
+    workload = WordCount(
+        spec=shrink(WORDCOUNT, records=2),
+        generator=TextGenerator(vocabulary_buckets=40, tokens_per_document=200),
+    )
+    context, partitions, result = run_workload(workload, push)
+    counts = WordCount.result_to_counts(result)
+    assert counts == workload.reference_result(partitions)
+    context.shutdown()
+
+
+def test_sort_produces_globally_sorted_output(push):
+    workload = Sort(spec=shrink(SORT, records=10))
+    context, partitions, _result = run_workload(workload, push)
+    expected = workload.reference_result(partitions)
+    # Reassemble output partitions in order from the DFS.
+    keys = []
+    for index in range(workload.spec.reduce_partitions):
+        path = f"{workload.output_path}/part-{index:05d}"
+        block = context.dfs.read_block(context.dfs.file_blocks(path)[0])
+        keys.extend(key for key, _value in block.records)
+    assert keys == expected
+    context.shutdown()
+
+
+def test_terasort_sorted_and_bloated(push):
+    workload = TeraSort(spec=shrink(TERASORT, records=10))
+    context, partitions, _result = run_workload(workload, push)
+    expected = workload.reference_result(partitions)
+    keys = []
+    bloated_bytes = 0.0
+    for index in range(workload.spec.reduce_partitions):
+        path = f"{workload.output_path}/part-{index:05d}"
+        block = context.dfs.read_block(context.dfs.file_blocks(path)[0])
+        keys.extend(key for key, _value in block.records)
+        bloated_bytes += sum(v.natural_size for _k, v in block.records)
+    assert keys == expected
+    raw_bytes = sum(
+        value.natural_size
+        for partition in partitions
+        for _key, value in partition
+    )
+    assert bloated_bytes == pytest.approx(
+        raw_bytes * workload.bloat_factor, rel=1e-6
+    )
+    context.shutdown()
+
+
+def test_pagerank_matches_reference(push):
+    workload = PageRank(spec=shrink(PAGERANK, records=20))
+    context, partitions, result = run_workload(workload, push)
+    ranks = PageRank.result_to_ranks(result)
+    reference = workload.reference_result(partitions)
+    assert set(ranks) == set(reference)
+    for page, rank in reference.items():
+        assert ranks[page] == pytest.approx(rank, rel=1e-9)
+    context.shutdown()
+
+
+def test_pagerank_iteration_count_changes_result():
+    one = PageRank(spec=shrink(PAGERANK, records=20), iterations=1)
+    three = PageRank(spec=shrink(PAGERANK, records=20), iterations=3)
+    partitions = one.generate(RandomSource(0))
+    assert one.reference_result(partitions) != three.reference_result(
+        partitions
+    )
+
+
+def test_naive_bayes_matches_reference(push):
+    workload = NaiveBayes(
+        spec=shrink(NAIVE_BAYES, records=2),
+        generator=TextGenerator(vocabulary_buckets=30, tokens_per_document=100),
+    )
+    context, partitions, result = run_workload(workload, push)
+    totals = NaiveBayes.result_to_totals(result)
+    assert totals == workload.reference_result(partitions)
+    context.shutdown()
+
+
+def test_generated_sizes_match_spec():
+    """Generated partitions carry exactly the Table I byte volume."""
+    for workload in (
+        WordCount(spec=shrink(WORDCOUNT, records=2)),
+        Sort(spec=shrink(SORT, records=5)),
+        TeraSort(spec=shrink(TERASORT, records=5)),
+        PageRank(spec=shrink(PAGERANK, records=10)),
+        NaiveBayes(spec=shrink(NAIVE_BAYES, records=2)),
+    ):
+        from repro.rdd.size_estimator import SizeEstimator
+
+        partitions = workload.generate(RandomSource(1))
+        estimator = SizeEstimator()
+        total = sum(estimator.estimate(p) for p in partitions)
+        assert total == pytest.approx(
+            workload.spec.total_input_bytes, rel=0.01
+        ), workload.name
+
+
+def test_generation_is_deterministic():
+    workload = Sort(spec=shrink(SORT, records=5))
+    a = workload.generate(RandomSource(9))
+    b = workload.generate(RandomSource(9))
+    assert a == b
+
+
+def test_install_rejects_wrong_partition_count():
+    from repro.errors import WorkloadError
+
+    workload = Sort(spec=shrink(SORT, partitions=4, records=2))
+    context = make_context()
+    with pytest.raises(WorkloadError):
+        workload.install(context, [[("k", None)]])
+    context.shutdown()
+
+
+def test_terasort_explicit_transfer_variant_is_correct():
+    workload = TeraSort(spec=shrink(TERASORT, records=8))
+    context = make_context(push=True)
+    partitions = workload.generate(RandomSource(2))
+    workload.install(context, partitions)
+    rdd = workload.build_with_explicit_transfer(context, destination="dc-b")
+    rdd.save_as_file("/explicit")
+    keys = []
+    for index in range(workload.spec.reduce_partitions):
+        path = f"/explicit/part-{index:05d}"
+        block = context.dfs.read_block(context.dfs.file_blocks(path)[0])
+        keys.extend(key for key, _value in block.records)
+    assert keys == workload.reference_result(partitions)
+    context.shutdown()

@@ -1,0 +1,132 @@
+"""Extension workloads: KMeans (broadcast) and JoinAggregate."""
+
+import dataclasses
+
+import pytest
+
+from repro.simulation import RandomSource
+from repro.workloads.extensions import (
+    JOIN_SPEC,
+    KMEANS_SPEC,
+    JoinAggregate,
+    KMeans,
+)
+from tests.conftest import make_context
+
+
+def shrink(spec, partitions=4, records=8):
+    return dataclasses.replace(
+        spec, input_partitions=partitions, records_per_partition=records
+    )
+
+
+@pytest.fixture(params=[False, True], ids=["fetch", "push"])
+def push(request):
+    return request.param
+
+
+def test_kmeans_matches_reference(push):
+    workload = KMeans(spec=shrink(KMEANS_SPEC), clusters=3, iterations=2)
+    context = make_context(push=push)
+    partitions = workload.generate(RandomSource(3))
+    workload.install(context, partitions)
+    centres = workload.run(context)
+    expected = workload.reference_result(partitions)
+    assert len(centres) == 3
+    for got, want in zip(centres, expected):
+        assert got[0] == pytest.approx(want[0], rel=1e-9)
+        assert got[1] == pytest.approx(want[1], rel=1e-9)
+    context.shutdown()
+
+
+def test_kmeans_converges_toward_blobs():
+    workload = KMeans(
+        spec=shrink(KMEANS_SPEC, partitions=6, records=30),
+        clusters=2,
+        iterations=4,
+    )
+    context = make_context(push=True)
+    partitions = workload.generate(RandomSource(7))
+    workload.install(context, partitions)
+    centres = workload.run(context)
+    # True blob centres are (0, 0) and (10, 5).
+    assert min(abs(c[0] - 0.0) + abs(c[1] - 0.0) for c in centres) < 2.0
+    assert min(abs(c[0] - 10.0) + abs(c[1] - 5.0) for c in centres) < 2.0
+    context.shutdown()
+
+
+def test_kmeans_broadcasts_once_per_host_per_iteration():
+    workload = KMeans(spec=shrink(KMEANS_SPEC), clusters=2, iterations=2)
+    context = make_context(push=False)
+    partitions = workload.generate(RandomSource(1))
+    workload.install(context, partitions)
+    workload.run(context)
+    broadcast_bytes = context.traffic.by_tag.get("broadcast", 0.0)
+    assert broadcast_bytes > 0
+    context.shutdown()
+
+
+def test_kmeans_validation():
+    with pytest.raises(ValueError):
+        KMeans(clusters=0)
+    with pytest.raises(ValueError):
+        KMeans(iterations=0)
+
+
+def test_join_aggregate_matches_reference(push):
+    workload = JoinAggregate(spec=shrink(JOIN_SPEC), num_users=30)
+    context = make_context(push=push)
+    partitions = workload.generate(RandomSource(5))
+    workload.install(context, partitions)
+    totals = workload.run(context)
+    expected = workload.reference_result(partitions)
+    assert set(totals) == set(expected)
+    for region, value in expected.items():
+        assert totals[region] == pytest.approx(value, rel=1e-9)
+    context.shutdown()
+
+
+def test_join_dimension_table_installed(push):
+    workload = JoinAggregate(spec=shrink(JOIN_SPEC), num_users=10)
+    context = make_context(push=push)
+    partitions = workload.generate(RandomSource(2))
+    workload.install(context, partitions)
+    assert context.dfs.exists(workload.dimension_path)
+    context.shutdown()
+
+
+def test_join_total_conserved(push):
+    workload = JoinAggregate(spec=shrink(JOIN_SPEC), num_users=10)
+    context = make_context(push=push)
+    partitions = workload.generate(RandomSource(4))
+    workload.install(context, partitions)
+    totals = workload.run(context)
+    all_amounts = sum(
+        amount.payload for block in partitions for _u, amount in block
+    )
+    assert sum(totals.values()) == pytest.approx(all_amounts, rel=1e-9)
+    context.shutdown()
+
+
+def test_extension_workloads_run_under_harness():
+    from repro.experiments.runner import (
+        ExperimentPlan,
+        clear_data_cache,
+        run_workload_once,
+    )
+    from repro.experiments.schemes import Scheme
+    from tests.conftest import small_spec
+
+    clear_data_cache()
+    plan = ExperimentPlan(
+        cluster=small_spec(
+            datacenters=("dc-a", "dc-b", "dc-c"), workers_per_datacenter=2
+        ),
+        seeds=(0,),
+    )
+    workload = JoinAggregate(spec=shrink(JOIN_SPEC), num_users=20)
+    spark = run_workload_once(workload, Scheme.SPARK, 0, plan)
+    agg = run_workload_once(workload, Scheme.AGGSHUFFLE, 0, plan)
+    assert spark.duration > 0 and agg.duration > 0
+    assert agg.cross_dc_by_tag.get("shuffle", 0.0) == 0.0
+    clear_data_cache()

@@ -1,0 +1,63 @@
+"""Table I values and spec validation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import specs
+
+
+def test_table1_wordcount():
+    assert specs.WORDCOUNT.total_input_bytes == pytest.approx(3.2e9)
+
+
+def test_table1_sort():
+    assert specs.SORT.total_input_bytes == pytest.approx(320e6)
+
+
+def test_table1_terasort():
+    # 32 million records x 100 bytes.
+    assert specs.TERASORT.total_input_bytes == pytest.approx(
+        32_000_000 * 100
+    )
+
+
+def test_table1_pagerank():
+    assert specs.PAGERANK_PAGES == 500_000
+    assert specs.PAGERANK_ITERATIONS == 3
+
+
+def test_table1_naive_bayes():
+    assert specs.NAIVE_BAYES_PAGES == 100_000
+    assert specs.NAIVE_BAYES_CLASSES == 100
+
+
+def test_reduce_parallelism_is_eight():
+    """§V-A: max parallelism of map and reduce set to 8."""
+    for spec in specs.ALL_SPECS:
+        assert spec.reduce_partitions == 8
+
+
+def test_spec_lookup_by_name():
+    assert specs.spec_by_name("terasort") is specs.TERASORT
+    with pytest.raises(WorkloadError):
+        specs.spec_by_name("nope")
+
+
+def test_spec_validation():
+    bad = specs.WorkloadSpec(
+        name="bad", total_input_bytes=0, input_partitions=1,
+        reduce_partitions=1, cpu_bytes_per_second=1e6,
+        records_per_partition=1,
+    )
+    with pytest.raises(WorkloadError):
+        bad.validate()
+
+
+def test_bytes_per_partition():
+    assert specs.SORT.bytes_per_input_partition == pytest.approx(
+        320e6 / specs.SORT.input_partitions
+    )
+
+
+def test_terasort_bloat_factor_above_one():
+    assert specs.TERASORT_BLOAT_FACTOR > 1.0
