@@ -10,6 +10,9 @@ Environment knobs:
 
 * ``REPRO_SEEDS``      — number of repetitions (default 10, as in §V-B).
 * ``REPRO_WORKLOADS``  — comma-separated subset of workload names.
+* ``REPRO_JOBS``       — worker processes for the run matrix (cells are
+  independent seeded simulations; parallel output is identical to the
+  sequential run).  Unset or <= 1 runs sequentially.
 """
 
 from __future__ import annotations
@@ -18,7 +21,11 @@ import os
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.runner import ExperimentPlan, RunResult, run_matrix
+from repro.experiments.runner import (
+    ExperimentPlan,
+    RunResult,
+    run_matrix_parallel,
+)
 from repro.experiments.schemes import PAPER_SCHEMES, Scheme
 from repro.workloads import all_workloads
 
@@ -49,8 +56,9 @@ def get_matrix(seeds: Sequence[int] | None = None) -> List[RunResult]:
     key = (seed_tuple, names)
     if key not in _matrix_cache:
         plan = ExperimentPlan(seeds=seed_tuple)
-        _matrix_cache[key] = run_matrix(
-            selected_workloads(), list(PAPER_SCHEMES), plan
+        # jobs=None honours REPRO_JOBS; <= 1 runs sequentially.
+        _matrix_cache[key] = run_matrix_parallel(
+            selected_workloads(), list(PAPER_SCHEMES), plan, jobs=None
         )
     return _matrix_cache[key]
 

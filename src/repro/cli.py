@@ -4,11 +4,16 @@ Usage::
 
     python -m repro run <workload> [--scheme SCHEME] [--seed N]
     python -m repro compare <workload> [--seeds N]
-    python -m repro fig7 | fig8 | headline [--seeds N]
+    python -m repro fig7 | fig8 | headline [--seeds N] [--jobs N]
     python -m repro lineage <workload> [--scheme SCHEME]
 
 Workloads: wordcount, sort, terasort, pagerank, naivebayes.
 Schemes: spark, centralized, aggshuffle, iridiumlike.
+
+``--jobs N`` fans the (workload x scheme x seed) matrix out over N
+worker processes; cells are independent seeded simulations, so the
+output is identical to a sequential run.  ``REPRO_JOBS`` sets the
+default.
 """
 
 from __future__ import annotations
@@ -22,7 +27,11 @@ from repro.experiments.figures import (
     fig8_cross_dc_traffic,
     headline_numbers,
 )
-from repro.experiments.runner import ExperimentPlan, run_matrix, run_workload_once
+from repro.experiments.runner import (
+    ExperimentPlan,
+    run_matrix_parallel,
+    run_workload_once,
+)
 from repro.experiments.schemes import PAPER_SCHEMES, Scheme
 from repro.metrics.reporting import format_table
 from repro.workloads import all_workloads, workload_by_name
@@ -57,6 +66,17 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"    t={stage.started_at:8.1f}  {stage.duration:8.1f} s  "
             f"{stage.kind}"
         )
+    perf = result.fabric_perf
+    if perf:
+        print(
+            "  fabric perf     : "
+            f"{perf['solves']:.0f} solves, "
+            f"{perf['flows_touched']:.0f} flows touched "
+            f"(mean {perf['mean_flows_per_solve']:.1f}/solve), "
+            f"{perf['solver_seconds'] * 1e3:.1f} ms in solver, "
+            f"peak {perf['peak_active_flows']:.0f} flows, "
+            f"{perf['jitter_noops']:.0f} jitter no-ops"
+        )
     return 0
 
 
@@ -76,9 +96,17 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _matrix(args: argparse.Namespace):
+    return run_matrix_parallel(
+        all_workloads(),
+        list(PAPER_SCHEMES),
+        _plan(args.seeds),
+        jobs=args.jobs,
+    )
+
+
 def cmd_fig7(args: argparse.Namespace) -> int:
-    results = run_matrix(all_workloads(), list(PAPER_SCHEMES), _plan(args.seeds))
-    figure = fig7_job_completion_times(results)
+    figure = fig7_job_completion_times(_matrix(args))
     rows = []
     for workload, by_scheme in figure.items():
         row = [workload]
@@ -93,8 +121,7 @@ def cmd_fig7(args: argparse.Namespace) -> int:
 
 
 def cmd_fig8(args: argparse.Namespace) -> int:
-    results = run_matrix(all_workloads(), list(PAPER_SCHEMES), _plan(args.seeds))
-    figure = fig8_cross_dc_traffic(results)
+    figure = fig8_cross_dc_traffic(_matrix(args))
     headers = ["workload"] + [s.value for s in PAPER_SCHEMES]
     rows = [
         [workload] + [f"{by_scheme.get(s.value, 0):.1f}" for s in PAPER_SCHEMES]
@@ -106,8 +133,7 @@ def cmd_fig8(args: argparse.Namespace) -> int:
 
 
 def cmd_headline(args: argparse.Namespace) -> int:
-    results = run_matrix(all_workloads(), list(PAPER_SCHEMES), _plan(args.seeds))
-    headline = headline_numbers(results)
+    headline = headline_numbers(_matrix(args))
     rows = [
         [
             workload,
@@ -181,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sub = commands.add_parser(name, help=help_text)
         sub.add_argument("--seeds", type=int, default=10)
+        sub.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for the run matrix "
+            "(default: $REPRO_JOBS or sequential)",
+        )
         sub.set_defaults(func=func)
 
     lineage = commands.add_parser(

@@ -16,6 +16,8 @@ instead.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -63,6 +65,9 @@ class RunResult:
     stages: List[StageRecord] = field(default_factory=list)
     injected_failures: int = 0
     action_result: Any = None
+    # Substrate perf counters of the run's fabric (solver cost etc.;
+    # see repro.metrics.perf) — regressions show up in every bench.
+    fabric_perf: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -177,6 +182,7 @@ def run_workload_once(
         stages=stages,
         injected_failures=job.injected_failures,
         action_result=action_result if plan.keep_action_results else None,
+        fabric_perf=context.fabric.perf_snapshot(),
     )
 
 
@@ -195,3 +201,58 @@ def run_matrix(
                     run_workload_once(workload, scheme, seed, plan)
                 )
     return results
+
+
+# ---------------------------------------------------------------------------
+# Parallel harness
+# ---------------------------------------------------------------------------
+def _run_cell(payload: Tuple[str, Scheme, int, ExperimentPlan]) -> RunResult:
+    """Worker entry point: rebuild the workload by name and run one cell.
+
+    Top-level so it pickles; the workload is reconstructed in the worker
+    (workload objects hold closures that do not survive pickling).
+    """
+    from repro.workloads import workload_by_name
+
+    workload_name, scheme, seed, plan = payload
+    return run_workload_once(workload_by_name(workload_name), scheme, seed, plan)
+
+
+def default_jobs() -> int:
+    """Worker count from the ``REPRO_JOBS`` environment knob (0 = off)."""
+    value = os.environ.get("REPRO_JOBS", "0")
+    try:
+        return int(value)
+    except ValueError:
+        raise SystemExit(
+            f"REPRO_JOBS must be an integer, got {value!r}"
+        ) from None
+
+
+def run_matrix_parallel(
+    workloads: Sequence[Workload],
+    schemes: Sequence[Scheme],
+    plan: Optional[ExperimentPlan] = None,
+    jobs: Optional[int] = None,
+) -> List[RunResult]:
+    """:func:`run_matrix` fanned out over a process pool.
+
+    Every cell is an independent, seeded, deterministic simulation, so
+    the fan-out preserves results bit-for-bit: the returned list is in
+    the same (workload, scheme, seed) order as the sequential path and
+    every ``RunResult`` field is identical.  ``jobs`` <= 1 (or ``None``
+    with ``REPRO_JOBS`` unset) falls back to the sequential runner.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1:
+        return run_matrix(workloads, schemes, plan)
+    plan = plan if plan is not None else ExperimentPlan()
+    cells = [
+        (workload.name, scheme, seed, plan)
+        for workload in workloads
+        for scheme in schemes
+        for seed in plan.seeds
+    ]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_run_cell, cells))

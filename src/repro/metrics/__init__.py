@@ -6,6 +6,8 @@
   interquartile range used in Fig. 7 / Fig. 9.
 * :mod:`repro.metrics.reporting` — plain-text tables for benchmark
   output.
+* :mod:`repro.metrics.perf` — counters of the simulation substrate's
+  own hot path (solver invocations, flows touched, wall time).
 """
 
 from repro.metrics.collectors import (
@@ -14,6 +16,7 @@ from repro.metrics.collectors import (
     StageSpan,
     TaskSpan,
 )
+from repro.metrics.perf import FabricPerfCounters
 from repro.metrics.stats import (
     interquartile_range,
     median,
@@ -23,6 +26,7 @@ from repro.metrics.stats import (
 )
 
 __all__ = [
+    "FabricPerfCounters",
     "JobMetrics",
     "MetricsCollector",
     "StageSpan",

@@ -16,8 +16,9 @@ fluctuation of §V-A lives in :mod:`repro.network.jitter`.
 """
 
 from repro.network.topology import Datacenter, Host, Link, Topology
-from repro.network.fair_share import max_min_fair_rates
+from repro.network.fair_share import max_min_fair_rates, verify_allocation
 from repro.network.fabric import Flow, NetworkFabric
+from repro.network.incremental import IncrementalFairShare
 from repro.network.jitter import BandwidthJitter, JitterSpec
 from repro.network.traffic_monitor import TrafficMonitor
 
@@ -27,8 +28,10 @@ __all__ = [
     "Link",
     "Topology",
     "max_min_fair_rates",
+    "verify_allocation",
     "Flow",
     "NetworkFabric",
+    "IncrementalFairShare",
     "BandwidthJitter",
     "JitterSpec",
     "TrafficMonitor",

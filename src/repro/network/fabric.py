@@ -10,19 +10,35 @@ to max-min fairness; rates are recomputed whenever
 * a flow finishes, or
 * a link capacity changes (bandwidth jitter).
 
-Between recomputations every flow progresses linearly at its current rate,
-so the fabric only needs to wake at the earliest projected completion.
-Stale wake-ups (scheduled before a recomputation) are detected with a
-version counter and ignored.
+Between recomputations every flow progresses linearly at its current rate.
+
+Two solver drives exist:
+
+* **incremental** (default) — the :class:`repro.network.incremental.
+  IncrementalFairShare` engine re-solves only the connected component of
+  flows and links an event touches, charges progress lazily per flow,
+  and keeps projected completions in a deadline heap, so the per-event
+  cost scales with the component, not the population;
+* **global** (``incremental=False``) — the original from-scratch re-solve
+  of every active flow on every event, kept as the baseline for the
+  equivalence tests and the speedup microbenchmarks.
+
+Both produce the same (unique) max-min allocation; same-instant flow
+arrivals and capacity changes are coalesced into a single solve.  Stale
+wake-ups are detected with a version counter and ignored.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
-from typing import Dict, List, Optional
+import time
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.metrics.perf import FabricPerfCounters
 from repro.network.fair_share import max_min_fair_rates
+from repro.network.incremental import IncrementalFairShare
 from repro.network.topology import Link, Topology
 from repro.network.traffic_monitor import TrafficMonitor
 from repro.simulation.event import Event
@@ -55,6 +71,8 @@ class Flow:
         "rate",
         "started_at",
         "finished_at",
+        "charged_at",
+        "epoch",
     )
 
     def __init__(
@@ -79,6 +97,12 @@ class Flow:
         self.rate = 0.0
         self.started_at = started_at
         self.finished_at: Optional[float] = None
+        # ``remaining`` is exact as of ``charged_at``; the incremental
+        # drive charges lazily, only when the flow's rate changes.
+        self.charged_at = started_at
+        # Bumped whenever the rate (and hence projected deadline)
+        # changes; stale deadline-heap entries carry an old epoch.
+        self.epoch = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -96,20 +120,36 @@ class NetworkFabric:
         topology: Topology,
         monitor: Optional[TrafficMonitor] = None,
         wan_flow_cap: Optional[float] = None,
+        incremental: bool = True,
     ) -> None:
         """``wan_flow_cap`` bounds any single WAN-crossing flow's rate
         (bytes/second), modelling TCP throughput over high-RTT paths —
         a single stream cannot fill an inter-region link even when the
-        link itself is idle."""
+        link itself is idle.  ``incremental=False`` selects the legacy
+        global re-solve drive (baseline for benchmarks/tests)."""
         self.sim = sim
         self.topology = topology
         self.monitor = monitor if monitor is not None else TrafficMonitor()
         self.wan_flow_cap = wan_flow_cap
+        self.perf = FabricPerfCounters()
+        self._incremental = incremental
+        self._engine: Optional[IncrementalFairShare] = (
+            IncrementalFairShare(wan_flow_cap=wan_flow_cap, counters=self.perf)
+            if incremental
+            else None
+        )
         self._flows: Dict[int, Flow] = {}
+        self._flow_by_event: Dict[Event, Flow] = {}
         self._flow_ids = itertools.count()
         self._last_update = sim.now
         self._wake_version = 0
         self._recompute_pending = False
+        # Event batching (incremental drive): seeds of the next solve.
+        self._dirty_flows: Set[int] = set()
+        self._dirty_links: Set[str] = set()
+        self._dirty_all = False
+        # Deadline heap of (projected finish, flow id, epoch).
+        self._deadlines: List[Tuple[float, int, int]] = []
         self.completed_flows: List[Flow] = []
 
     # ------------------------------------------------------------------
@@ -147,13 +187,86 @@ class NetworkFabric:
         if not route or size_bytes <= _DRAIN_FLOOR:
             self._finish_flow(flow, extra_delay=latency)
             return completion
-        self._advance_progress()
         self._flows[flow_id] = flow
+        self._flow_by_event[completion] = flow
+        self.perf.note_admission(len(self._flows))
+        if self._engine is not None:
+            self._engine.add_flow(flow_id, route)
+            self._dirty_flows.add(flow_id)
+        else:
+            self._advance_progress()
         # Batch rate recomputation: a reducer starting dozens of fetch
         # flows in one instant triggers a single solve, not one each.
         self._schedule_recompute()
         return flow.completion
 
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    def active_flows(self) -> List[Flow]:
+        """The in-flight flows, with ``remaining`` charged up to now."""
+        if self._engine is not None:
+            for flow in self._flows.values():
+                self._charge(flow)
+        return list(self._flows.values())
+
+    def current_rate(self, flow_event: Event) -> float:
+        """The instantaneous rate of the flow owning ``flow_event``."""
+        flow = self._flow_by_event.get(flow_event)
+        return flow.rate if flow is not None else 0.0
+
+    def notify_capacity_change(
+        self, changed_links: Optional[Iterable[Link]] = None
+    ) -> None:
+        """Re-solve rates after link capacities changed (jitter).
+
+        Pass the perturbed ``changed_links`` to scope the re-solve to
+        the components they carry; a change touching only idle links is
+        then a no-op.  Without the argument every carried link is
+        re-read (legacy behaviour).  Same-instant changes coalesce with
+        pending arrivals/departures into one solve.
+        """
+        if not self._flows:
+            if changed_links is not None:
+                self.perf.jitter_noops += 1
+            return
+        if self._engine is None:
+            self._advance_progress()
+            self._reschedule_global()
+            return
+        if changed_links is None:
+            self._dirty_all = True
+            self._schedule_recompute()
+            return
+        touched = False
+        for link in changed_links:
+            if self._engine.update_capacity(link):
+                self._dirty_links.add(link.name)
+                touched = True
+        if touched:
+            self._schedule_recompute()
+        else:
+            self.perf.jitter_noops += 1
+
+    def solver_inputs(self) -> Tuple[Dict[int, Tuple[str, ...]], Dict[str, float]]:
+        """The global (routes, capacities) dicts describing the current
+        active set — feed to :func:`max_min_fair_rates` to cross-check
+        allocations (used by the equivalence tests)."""
+        if self._engine is not None:
+            return self._engine.solver_inputs()
+        return self._build_solver_inputs()
+
+    def perf_snapshot(self) -> Dict[str, float]:
+        """Perf counters plus the topology's route-cache statistics."""
+        snapshot = self.perf.as_dict()
+        snapshot["route_cache_hits"] = float(self.topology.route_cache_hits)
+        snapshot["route_cache_misses"] = float(self.topology.route_cache_misses)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Shared internals
+    # ------------------------------------------------------------------
     def _schedule_recompute(self) -> None:
         if self._recompute_pending:
             return
@@ -164,32 +277,149 @@ class NetworkFabric:
 
     def _run_recompute(self, _event) -> None:
         self._recompute_pending = False
-        self._advance_progress()
-        self._reschedule()
+        self.perf.events += 1
+        if self._engine is None:
+            self._advance_progress()
+            self._reschedule_global()
+        else:
+            self._resolve_dirty()
 
-    @property
-    def active_flow_count(self) -> int:
-        return len(self._flows)
-
-    def active_flows(self) -> List[Flow]:
-        return list(self._flows.values())
-
-    def current_rate(self, flow_event: Event) -> float:
-        """The instantaneous rate of the flow owning ``flow_event``."""
-        for flow in self._flows.values():
-            if flow.completion is flow_event:
-                return flow.rate
-        return 0.0
-
-    def notify_capacity_change(self) -> None:
-        """Re-solve rates after link capacities changed (jitter)."""
-        if not self._flows:
-            return
-        self._advance_progress()
-        self._reschedule()
+    def _finish_flow(self, flow: Flow, extra_delay: float) -> None:
+        flow.finished_at = self.sim.now + extra_delay
+        if flow.size_bytes > 0:
+            # Zero-byte transfers are control-plane no-ops; recording
+            # them would pollute the traffic matrices with empty entries.
+            src_dc = self.topology.datacenter_of(flow.src_host)
+            dst_dc = self.topology.datacenter_of(flow.dst_host)
+            self.monitor.record(src_dc, dst_dc, flow.size_bytes, flow.tag)
+        self.completed_flows.append(flow)
+        if extra_delay > 0:
+            done = self.sim.timeout(extra_delay)
+            done.add_callback(lambda _event: flow.completion.succeed(flow))
+        else:
+            flow.completion.succeed(flow)
 
     # ------------------------------------------------------------------
-    # Internals
+    # Incremental drive
+    # ------------------------------------------------------------------
+    def _charge(self, flow: Flow) -> None:
+        """Charge the flow for time elapsed at its current rate."""
+        elapsed = self.sim.now - flow.charged_at
+        if elapsed > 0:
+            flow.remaining -= flow.rate * elapsed
+            if flow.remaining < 0:
+                flow.remaining = 0.0
+            flow.charged_at = self.sim.now
+
+    def _depart(self, flow: Flow) -> None:
+        """Remove a drained flow from the graph and complete it."""
+        del self._flows[flow.flow_id]
+        del self._flow_by_event[flow.completion]
+        assert self._engine is not None
+        self._engine.remove_flow(flow.flow_id)
+        latency = sum(link.latency for link in flow.route)
+        self._finish_flow(flow, extra_delay=latency)
+
+    def _resolve_dirty(self) -> None:
+        """Charge, retire, and re-solve the dirty connected component."""
+        engine = self._engine
+        assert engine is not None
+        if self._dirty_all:
+            self._dirty_links |= engine.refresh_capacities()
+            self._dirty_all = False
+        dirty_flows, self._dirty_flows = self._dirty_flows, set()
+        dirty_links, self._dirty_links = self._dirty_links, set()
+        component = engine.component(dirty_flows, dirty_links)
+        if not component:
+            self._schedule_wake()
+            return
+        for flow_id in component:
+            self._charge(self._flows[flow_id])
+        for flow_id in [
+            flow_id
+            for flow_id in component
+            if self._flows[flow_id].remaining
+            <= _drain_threshold(self._flows[flow_id].size_bytes)
+        ]:
+            component.discard(flow_id)
+            self._depart(self._flows[flow_id])
+        if component:
+            engine.solve(component)
+            now = self.sim.now
+            for flow_id in component:
+                flow = self._flows[flow_id]
+                flow.rate = engine.rate(flow_id)
+                flow.epoch += 1
+                heapq.heappush(
+                    self._deadlines,
+                    (now + flow.remaining / flow.rate, flow_id, flow.epoch),
+                )
+        self._schedule_wake()
+
+    def _schedule_wake(self) -> None:
+        """Plan the next wake at the earliest live projected completion."""
+        heap = self._deadlines
+        while heap:
+            _deadline, flow_id, epoch = heap[0]
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.epoch != epoch:
+                heapq.heappop(heap)
+                continue
+            break
+        self._wake_version += 1
+        if not heap:
+            return
+        deadline, flow_id, _epoch = heap[0]
+        head = self._flows[flow_id]
+        delay = deadline - self.sim.now
+        # Progress floor: guarantee the head flow moves at least
+        # _DRAIN_FLOOR bytes per wake so float residue cannot stall the
+        # clock (mirrors the legacy horizon floor).
+        floor = _DRAIN_FLOOR / head.rate if head.rate > 0 else _DRAIN_FLOOR
+        if delay < floor:
+            delay = floor
+        version = self._wake_version
+        wake = self.sim.timeout(delay, name=f"fabric:wake@{version}")
+        wake.add_callback(lambda _event: self._on_wake(version))
+
+    def _on_wake(self, version: int) -> None:
+        if version != self._wake_version:
+            return  # superseded by a newer reschedule
+        self.perf.events += 1
+        now = self.sim.now
+        # Entries within a few ulps of now are due; early pops are safe
+        # (an undrained flow is simply re-queued at its true deadline).
+        horizon = now + 1e-12 * max(1.0, now)
+        heap = self._deadlines
+        departures = False
+        while heap:
+            deadline, flow_id, epoch = heap[0]
+            flow = self._flows.get(flow_id)
+            if flow is None or flow.epoch != epoch:
+                heapq.heappop(heap)
+                continue
+            if deadline > horizon:
+                break
+            heapq.heappop(heap)
+            self._charge(flow)
+            if flow.remaining <= _drain_threshold(flow.size_bytes):
+                self._dirty_links.update(link.name for link in flow.route)
+                self._depart(flow)
+                departures = True
+            else:
+                flow.epoch += 1
+                heapq.heappush(
+                    heap, (now + flow.remaining / flow.rate, flow_id, flow.epoch)
+                )
+        if departures:
+            # Departures free capacity: re-solve their components (the
+            # trigger coalesces with any same-instant arrivals).
+            self._schedule_recompute()
+        else:
+            self._schedule_wake()
+
+    # ------------------------------------------------------------------
+    # Legacy global drive (baseline; also the reference in tests)
     # ------------------------------------------------------------------
     def _advance_progress(self) -> None:
         """Charge each active flow for the time elapsed at its old rate."""
@@ -202,8 +432,10 @@ class NetworkFabric:
             if flow.remaining < 0:
                 flow.remaining = 0.0
 
-    def _recompute_rates(self) -> None:
-        routes: Dict[int, List[str]] = {}
+    def _build_solver_inputs(
+        self,
+    ) -> Tuple[Dict[int, Tuple[str, ...]], Dict[str, float]]:
+        routes: Dict[int, Tuple[str, ...]] = {}
         capacities: Dict[str, float] = {}
         for flow_id, flow in self._flows.items():
             names = [link.name for link in flow.route]
@@ -216,12 +448,20 @@ class NetworkFabric:
                 cap_name = f"cap:{flow_id}"
                 names.append(cap_name)
                 capacities[cap_name] = self.wan_flow_cap
-            routes[flow_id] = names
+            routes[flow_id] = tuple(names)
+        return routes, capacities
+
+    def _recompute_rates(self) -> None:
+        started = time.perf_counter()
+        routes, capacities = self._build_solver_inputs()
         rates = max_min_fair_rates(routes, capacities)
         for flow_id, flow in self._flows.items():
             flow.rate = rates[flow_id]
+        self.perf.solves += 1
+        self.perf.flows_touched += len(self._flows)
+        self.perf.solver_seconds += time.perf_counter() - started
 
-    def _reschedule(self) -> None:
+    def _reschedule_global(self) -> None:
         """Complete drained flows, re-solve rates, and plan the next wake."""
         # Retire every flow that drained by now (possibly several at once).
         drained = [
@@ -231,6 +471,7 @@ class NetworkFabric:
         ]
         for flow in drained:
             del self._flows[flow.flow_id]
+            del self._flow_by_event[flow.completion]
             latency = sum(link.latency for link in flow.route)
             self._finish_flow(flow, extra_delay=latency)
 
@@ -250,25 +491,14 @@ class NetworkFabric:
         self._wake_version += 1
         version = self._wake_version
         wake = self.sim.timeout(horizon, name=f"fabric:wake@{version}")
-        wake.add_callback(lambda _event: self._on_wake(version))
+        wake.add_callback(lambda _event: self._on_wake_global(version))
 
-    def _on_wake(self, version: int) -> None:
+    def _on_wake_global(self, version: int) -> None:
         if version != self._wake_version:
             return  # superseded by a newer reschedule
+        self.perf.events += 1
         self._advance_progress()
-        self._reschedule()
-
-    def _finish_flow(self, flow: Flow, extra_delay: float) -> None:
-        flow.finished_at = self.sim.now + extra_delay
-        src_dc = self.topology.datacenter_of(flow.src_host)
-        dst_dc = self.topology.datacenter_of(flow.dst_host)
-        self.monitor.record(src_dc, dst_dc, flow.size_bytes, flow.tag)
-        self.completed_flows.append(flow)
-        if extra_delay > 0:
-            done = self.sim.timeout(extra_delay)
-            done.add_callback(lambda _event: flow.completion.succeed(flow))
-        else:
-            flow.completion.succeed(flow)
+        self._reschedule_global()
 
 
 def ideal_transfer_time(

@@ -1,0 +1,181 @@
+"""Incremental max-min fair-share engine.
+
+The naive fabric re-solves *all* active flows on every arrival,
+departure, and capacity change — O(flows x route-length) per event and
+O(N^2) over a run.  This engine maintains the flow<->link bipartite
+graph incrementally so each event only re-solves the **connected
+component** of flows and links it actually touches:
+
+* flows in disjoint components keep their frozen rates (a LAN-only
+  flow in ``us-west`` never triggers a re-solve of the Tokyo<->Virginia
+  WAN component);
+* the route and capacity dictionaries are maintained across solves —
+  adding a flow inserts its (precomputed, memoized) route once, and a
+  component solve slices sub-dicts instead of rebuilding the world;
+* a capacity change on a link with zero active flows is a no-op.
+
+The solver itself is the unchanged pure progressive-filling
+:func:`repro.network.fair_share.max_min_fair_rates`; because the
+max-min allocation is unique and components are independent constraint
+systems, component-scoped solving provably yields the same rates as a
+global from-scratch solve (property-tested in
+``tests/network/test_incremental_fair_share.py``).
+
+The per-flow WAN rate cap is modelled exactly as in the global path: a
+virtual ``cap:<flow-id>`` link crossed only by that flow.  Virtual cap
+links never connect components.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.metrics.perf import FabricPerfCounters
+from repro.network.fair_share import max_min_fair_rates
+from repro.network.topology import Link
+
+FlowId = int
+
+
+class IncrementalFairShare:
+    """Flow<->link graph plus component-scoped max-min solving."""
+
+    def __init__(
+        self,
+        wan_flow_cap: Optional[float] = None,
+        counters: Optional[FabricPerfCounters] = None,
+    ) -> None:
+        self.wan_flow_cap = wan_flow_cap
+        self.counters = counters if counters is not None else FabricPerfCounters()
+        # flow id -> full solver route (shared link names + optional
+        # virtual cap link), built once at admission and reused by every
+        # subsequent solve.
+        self._routes: Dict[FlowId, Tuple[str, ...]] = {}
+        # flow id -> the *shared* link names only (graph edges).
+        self._shared: Dict[FlowId, Tuple[str, ...]] = {}
+        # shared link name -> ids of flows currently crossing it.
+        self._link_flows: Dict[str, Set[FlowId]] = {}
+        # shared link name -> Link object (to refresh capacities).
+        self._links: Dict[str, Link] = {}
+        # link name (shared or virtual cap) -> current capacity; kept in
+        # lockstep with the graph instead of being rebuilt per solve.
+        self._capacities: Dict[str, float] = {}
+        self._rates: Dict[FlowId, float] = {}
+
+    # ------------------------------------------------------------------
+    # Graph maintenance
+    # ------------------------------------------------------------------
+    def add_flow(self, flow_id: FlowId, route: Sequence[Link]) -> None:
+        """Register a flow; capacities of newly-carried links are read
+        fresh from the :class:`Link` objects (they may have jittered
+        while idle)."""
+        names: List[str] = []
+        for link in route:
+            name = link.name
+            names.append(name)
+            carriers = self._link_flows.get(name)
+            if carriers is None:
+                self._link_flows[name] = {flow_id}
+                self._links[name] = link
+                self._capacities[name] = link.capacity
+            else:
+                carriers.add(flow_id)
+        self._shared[flow_id] = tuple(names)
+        if self.wan_flow_cap is not None and any(l.is_wan for l in route):
+            cap_name = f"cap:{flow_id}"
+            names.append(cap_name)
+            self._capacities[cap_name] = self.wan_flow_cap
+        self._routes[flow_id] = tuple(names)
+        self._rates[flow_id] = 0.0
+
+    def remove_flow(self, flow_id: FlowId) -> None:
+        for name in self._shared.pop(flow_id):
+            carriers = self._link_flows[name]
+            carriers.discard(flow_id)
+            if not carriers:
+                del self._link_flows[name]
+                del self._links[name]
+                del self._capacities[name]
+        self._capacities.pop(f"cap:{flow_id}", None)
+        del self._routes[flow_id]
+        del self._rates[flow_id]
+
+    def update_capacity(self, link: Link) -> bool:
+        """Absorb a capacity change.  Returns True when the link carries
+        active flows (a re-solve of its component is needed); an idle
+        link is a pure no-op — its fresh capacity is read at the next
+        admission that crosses it."""
+        if link.name not in self._link_flows:
+            return False
+        self._capacities[link.name] = link.capacity
+        return True
+
+    def refresh_capacities(self) -> Set[str]:
+        """Re-read every carried link's capacity (unscoped notification);
+        returns the carried link names, all considered dirty."""
+        for name, link in self._links.items():
+            self._capacities[name] = link.capacity
+        return set(self._links)
+
+    # ------------------------------------------------------------------
+    # Component solving
+    # ------------------------------------------------------------------
+    def component(
+        self, seed_flows: Iterable[FlowId], seed_links: Iterable[str]
+    ) -> Set[FlowId]:
+        """Every flow connected (via shared links) to the seeds."""
+        stack: List[FlowId] = [f for f in seed_flows if f in self._routes]
+        for name in seed_links:
+            stack.extend(self._link_flows.get(name, ()))
+        component: Set[FlowId] = set()
+        seen_links: Set[str] = set()
+        while stack:
+            flow_id = stack.pop()
+            if flow_id in component:
+                continue
+            component.add(flow_id)
+            for name in self._shared[flow_id]:
+                if name in seen_links:
+                    continue
+                seen_links.add(name)
+                for other in self._link_flows[name]:
+                    if other not in component:
+                        stack.append(other)
+        return component
+
+    def solve(self, flow_ids: Set[FlowId]) -> None:
+        """Re-solve exactly ``flow_ids`` (one or more full components)
+        against the maintained capacity dict; other flows keep their
+        frozen rates."""
+        if not flow_ids:
+            return
+        started = perf_counter()
+        routes = {flow_id: self._routes[flow_id] for flow_id in flow_ids}
+        capacities = {
+            name: self._capacities[name]
+            for names in routes.values()
+            for name in names
+        }
+        rates = max_min_fair_rates(routes, capacities)
+        self._rates.update(rates)
+        counters = self.counters
+        counters.solves += 1
+        counters.flows_touched += len(flow_ids)
+        counters.solver_seconds += perf_counter() - started
+
+    def rate(self, flow_id: FlowId) -> float:
+        return self._rates[flow_id]
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, verification)
+    # ------------------------------------------------------------------
+    def solver_inputs(self) -> Tuple[Dict[FlowId, Tuple[str, ...]], Dict[str, float]]:
+        """Copies of the global (routes, capacities) solver inputs —
+        feed them to :func:`max_min_fair_rates` to cross-check the
+        incremental rates against a from-scratch solve."""
+        return dict(self._routes), dict(self._capacities)
+
+    @property
+    def flow_count(self) -> int:
+        return len(self._routes)

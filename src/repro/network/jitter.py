@@ -101,7 +101,12 @@ class BandwidthJitter:
                     self.spec.high, max(self.spec.low, link.capacity + delta)
                 )
                 link.set_capacity(new_capacity)
-            self.fabric.notify_capacity_change()
+            # Scoped notification: the fabric re-solves only components
+            # carried by the perturbed links, and skips the solve
+            # entirely when every one of them is idle.  All links are
+            # resampled above regardless, keeping the random-walk state
+            # (and hence determinism) independent of flow activity.
+            self.fabric.notify_capacity_change(changed_links=self.links)
 
 
 class StaticBandwidth:

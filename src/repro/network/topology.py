@@ -100,6 +100,12 @@ class Topology:
         self.datacenters: Dict[str, Datacenter] = {}
         self.hosts: Dict[str, Host] = {}
         self._wan_links: Dict[Tuple[str, str], Link] = {}
+        # Routes are static per host pair (jitter changes capacities,
+        # never paths), so they are computed once and memoized.  Any
+        # construction call invalidates the cache.
+        self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,6 +115,7 @@ class Topology:
             raise ConfigurationError(f"duplicate datacenter {name!r}")
         datacenter = Datacenter(name)
         self.datacenters[name] = datacenter
+        self._route_cache.clear()
         return datacenter
 
     def add_host(
@@ -129,6 +136,7 @@ class Topology:
         host = Host(name, datacenter, uplink, downlink)
         datacenter.hosts.append(host)
         self.hosts[name] = host
+        self._route_cache.clear()
         return host
 
     def connect_datacenters(
@@ -152,6 +160,7 @@ class Topology:
             self._wan_links[(dst_name, src_name)] = Link(
                 f"wan:{dst_name}->{src_name}", bandwidth, latency, is_wan=True
             )
+        self._route_cache.clear()
 
     def set_gateway(
         self, datacenter_name: str, bandwidth: float, latency: float = 0.0
@@ -166,6 +175,7 @@ class Topology:
         datacenter.wan_in = Link(
             f"gw:{datacenter_name}:in", bandwidth, latency, is_wan=False
         )
+        self._route_cache.clear()
 
     # ------------------------------------------------------------------
     # Queries
@@ -191,7 +201,22 @@ class Topology:
         return self._wan_links.values()
 
     def route(self, src_host: str, dst_host: str) -> List[Link]:
-        """The ordered list of links a flow from src to dst traverses."""
+        """The ordered list of links a flow from src to dst traverses.
+
+        Memoized: repeated calls for the same pair return the same list
+        object — treat it as read-only.
+        """
+        key = (src_host, dst_host)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            self.route_cache_hits += 1
+            return cached
+        self.route_cache_misses += 1
+        route = self._compute_route(src_host, dst_host)
+        self._route_cache[key] = route
+        return route
+
+    def _compute_route(self, src_host: str, dst_host: str) -> List[Link]:
         src = self.host(src_host)
         dst = self.host(dst_host)
         if src is dst:

@@ -201,6 +201,13 @@ def build_stages(final_rdd: RDD) -> Tuple[Stage, List[Stage]]:
 
     result_stage = _new_stage(final_rdd, StageKind.RESULT, None)
     ordered = _topological(all_stages)
+    # Renumber stages in topological order so ids (and the names derived
+    # from them) depend only on this job's lineage, not on how many
+    # stages earlier jobs in the process happened to build — experiment
+    # results must be identical whether cells run sequentially or fanned
+    # out across worker processes.
+    for index, stage in enumerate(ordered):
+        stage.stage_id = index
     return result_stage, ordered
 
 

@@ -1,0 +1,83 @@
+"""Parallel experiment harness: identical output to the sequential path.
+
+Every (workload, scheme, seed) cell is an independent, seeded,
+deterministic simulation, so fanning the matrix out over a process pool
+must change *nothing* about the results — same ordering, same float
+values, same derived figure statistics.  ``solver_seconds`` inside the
+fabric perf counters is wall-clock time and is excluded from the
+comparison; every other counter is deterministic and compared exactly.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.figures import fig7_job_completion_times
+from repro.experiments.runner import (
+    ExperimentPlan,
+    clear_data_cache,
+    run_matrix,
+    run_matrix_parallel,
+)
+from repro.experiments.schemes import Scheme
+from repro.workloads import workload_by_name
+
+
+@pytest.fixture(autouse=True)
+def _clean():
+    clear_data_cache()
+    yield
+    clear_data_cache()
+
+
+def _small_matrix(runner, **kwargs):
+    plan = ExperimentPlan(seeds=(0, 1))
+    workloads = [workload_by_name("wordcount")]
+    schemes = [Scheme.SPARK, Scheme.AGGSHUFFLE]
+    return runner(workloads, schemes, plan, **kwargs)
+
+
+def _comparable(result):
+    """RunResult as a dict minus the wall-clock perf field."""
+    data = dataclasses.asdict(result)
+    data["fabric_perf"] = {
+        key: value
+        for key, value in data["fabric_perf"].items()
+        if key != "solver_seconds"
+    }
+    return data
+
+
+def test_parallel_matrix_is_identical_to_sequential():
+    sequential = _small_matrix(run_matrix)
+    clear_data_cache()
+    parallel = _small_matrix(run_matrix_parallel, jobs=2)
+    assert len(sequential) == len(parallel)
+    for seq, par in zip(sequential, parallel):
+        assert _comparable(seq) == _comparable(par)
+    # The derived figure statistics are byte-identical.
+    assert repr(fig7_job_completion_times(sequential)) == repr(
+        fig7_job_completion_times(parallel)
+    )
+
+
+def test_jobs_of_one_falls_back_to_sequential_runner():
+    results = _small_matrix(run_matrix_parallel, jobs=1)
+    assert len(results) == 4
+    assert [r.scheme for r in results] == [
+        Scheme.SPARK,
+        Scheme.SPARK,
+        Scheme.AGGSHUFFLE,
+        Scheme.AGGSHUFFLE,
+    ]
+    assert [r.seed for r in results] == [0, 1, 0, 1]
+
+
+def test_parallel_results_preserve_matrix_order():
+    parallel = _small_matrix(run_matrix_parallel, jobs=2)
+    assert [(r.workload, r.scheme, r.seed) for r in parallel] == [
+        ("WordCount", Scheme.SPARK, 0),
+        ("WordCount", Scheme.SPARK, 1),
+        ("WordCount", Scheme.AGGSHUFFLE, 0),
+        ("WordCount", Scheme.AGGSHUFFLE, 1),
+    ]

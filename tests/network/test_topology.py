@@ -127,3 +127,33 @@ def test_link_capacity_validation():
     link.set_capacity(20)
     assert link.capacity == 20
     assert link.base_capacity == 10
+
+
+def test_route_is_memoized_per_host_pair():
+    topo = build_two_dc()
+    first = topo.route("e1", "w1")
+    second = topo.route("e1", "w1")
+    assert first is second  # same cached object
+    assert topo.route_cache_misses == 1
+    assert topo.route_cache_hits == 1
+
+
+def test_route_cache_invalidated_by_construction():
+    topo = build_two_dc()
+    cached = topo.route("e1", "e2")
+    topo.add_host("e3", "east")
+    fresh = topo.route("e1", "e2")
+    assert fresh is not cached
+    assert [link.name for link in fresh] == [link.name for link in cached]
+    topo.set_gateway("east", 100 * MBPS)
+    assert topo.route("e1", "w1")[1].name == "gw:east:out"
+
+
+def test_route_cache_preserves_capacity_mutations():
+    """Jitter mutates Link objects in place; cached routes must see it."""
+    topo = build_two_dc()
+    route = topo.route("e1", "w1")
+    topo.wan_link("east", "west").set_capacity(42 * MBPS)
+    wan = [link for link in topo.route("e1", "w1") if link.is_wan][0]
+    assert wan.capacity == 42 * MBPS
+    assert topo.route("e1", "w1") is route
