@@ -9,7 +9,6 @@ EC2-style rates (repro.metrics.billing), turning Fig. 8 into dollars.
 from collections import defaultdict
 
 from benchmarks.matrix_cache import emit, get_matrix
-from repro.experiments.schemes import Scheme
 
 _SCHEMES = ("Spark", "Centralized", "AggShuffle")
 

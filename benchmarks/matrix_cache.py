@@ -26,7 +26,7 @@ from repro.experiments.runner import (
     RunResult,
     run_matrix_parallel,
 )
-from repro.experiments.schemes import PAPER_SCHEMES, Scheme
+from repro.experiments.schemes import PAPER_SCHEMES
 from repro.workloads import all_workloads
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"

@@ -13,8 +13,6 @@ scheme, showing the divergence grow with iterations.
 Run:  python examples/iterative_pagerank.py
 """
 
-import dataclasses
-
 from repro.experiments import Scheme, run_workload_once
 from repro.experiments.runner import ExperimentPlan, clear_data_cache
 from repro.workloads import PAGERANK, PageRank

@@ -8,7 +8,9 @@ Usage::
     python -m repro lineage <workload> [--scheme SCHEME]
 
 Workloads: wordcount, sort, terasort, pagerank, naivebayes.
-Schemes: spark, centralized, aggshuffle, iridiumlike.
+Schemes are enumerated from the scheme registry (spark, centralized,
+aggshuffle, iridiumlike, premerge, plus any newly registered shuffle
+backend).
 
 ``--jobs N`` fans the (workload x scheme x seed) matrix out over N
 worker processes; cells are independent seeded simulations, so the
@@ -32,16 +34,16 @@ from repro.experiments.runner import (
     run_matrix_parallel,
     run_workload_once,
 )
-from repro.experiments.schemes import PAPER_SCHEMES, Scheme
+from repro.experiments.schemes import PAPER_SCHEMES, Scheme, all_schemes
 from repro.metrics.reporting import format_table
 from repro.workloads import all_workloads, workload_by_name
 
 
 def _scheme(name: str) -> Scheme:
-    for scheme in Scheme:
+    for scheme in all_schemes():
         if scheme.value.lower() == name.lower():
             return scheme
-    choices = ", ".join(s.value.lower() for s in Scheme)
+    choices = ", ".join(s.value.lower() for s in all_schemes())
     raise SystemExit(f"unknown scheme {name!r} (choose from: {choices})")
 
 
@@ -56,6 +58,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workload, scheme, args.seed, _plan(1)
     )
     print(f"{workload.name} / {scheme.value} (seed {args.seed})")
+    print(f"  shuffle backend : {result.backend}")
     print(f"  completion time : {result.duration:9.1f} s")
     print(f"  cross-DC traffic: {result.cross_dc_megabytes:9.1f} MB")
     for tag, megabytes in sorted(result.cross_dc_by_tag.items()):
@@ -76,6 +79,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{perf['solver_seconds'] * 1e3:.1f} ms in solver, "
             f"peak {perf['peak_active_flows']:.0f} flows, "
             f"{perf['jitter_noops']:.0f} jitter no-ops"
+        )
+    shuffle = result.shuffle_perf
+    if shuffle:
+        print(
+            "  shuffle perf    : "
+            f"{shuffle['blocks_fetched']:.0f} blocks fetched, "
+            f"{shuffle['blocks_pushed']:.0f} pushed, "
+            f"{shuffle['wan_bytes'] / 1e6:.1f} MB WAN / "
+            f"{shuffle['intra_dc_bytes'] / 1e6:.1f} MB intra-DC / "
+            f"{shuffle['local_bytes'] / 1e6:.1f} MB local, "
+            f"{shuffle['merge_rounds']:.0f} merge rounds "
+            f"(mean fan-in {shuffle['mean_merge_fan_in']:.1f})"
         )
     return 0
 
@@ -149,7 +164,6 @@ def cmd_headline(args: argparse.Namespace) -> int:
 
 
 def cmd_lineage(args: argparse.Namespace) -> int:
-    from repro.core.transfer_injection import insert_transfers
     from repro.experiments.placement import skewed_block_placement
     from repro.experiments.runner import generated_input
     from repro.experiments.schemes import config_for_scheme
@@ -170,8 +184,9 @@ def cmd_lineage(args: argparse.Namespace) -> int:
     )
     workload.install(context, partitions, placement_hosts=placement)
     rdd = workload.build(context)
-    if config.shuffle.auto_aggregate:
-        rdd = insert_transfers(rdd)
+    # Apply the backend's lineage rewrite (e.g. implicit transfer_to
+    # insertion for push_aggregate) so the dump shows what actually runs.
+    rdd = context.shuffle_service.prepare_job(rdd)
     print(lineage_dump(rdd))
     context.shutdown()
     return 0

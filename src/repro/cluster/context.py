@@ -22,7 +22,7 @@ from repro.errors import ConfigurationError
 from repro.failures.injector import FailureInjector
 from repro.metrics.collectors import MetricsCollector
 from repro.network.fabric import NetworkFabric
-from repro.network.jitter import BandwidthJitter, JitterSpec
+from repro.network.jitter import BandwidthJitter
 from repro.network.traffic_monitor import TrafficMonitor
 from repro.rdd.rdd import RDD, HadoopRDD, ParallelizedRDD
 from repro.rdd.size_estimator import SizeEstimator
@@ -30,7 +30,9 @@ from repro.scheduler.cache import CacheManager
 from repro.scheduler.dag_scheduler import DAGScheduler
 from repro.scheduler.task_runner import TaskRunner
 from repro.scheduler.task_scheduler import Executor, TaskScheduler
+from repro.shuffle.backends import create_backend
 from repro.shuffle.map_output_tracker import MapOutputTracker
+from repro.shuffle.service import ShuffleService
 from repro.shuffle.stores import ShuffleStore, TransferTracker
 from repro.simulation.kernel import Simulator
 from repro.simulation.random_source import RandomSource
@@ -71,6 +73,11 @@ class ClusterContext:
         self.map_output_tracker = MapOutputTracker()
         self.shuffle_store = ShuffleStore()
         self.transfer_tracker = TransferTracker()
+        # The pluggable shuffle data path: one backend per context,
+        # selected by name (repro.shuffle.backends registry).
+        self.shuffle_service = ShuffleService(
+            self, create_backend(self.config.shuffle.backend_name)
+        )
         self.metrics = MetricsCollector()
         self.failure_injector = FailureInjector(
             self.config.failures,
@@ -235,6 +242,7 @@ class ClusterContext:
         lost_outputs = self.map_output_tracker.unregister_host(host)
         self.shuffle_store.remove_host(host)
         self.transfer_tracker.remove_host(host)
+        self.shuffle_service.on_host_failure(host)
         cached_before = self.cache.entry_count
         self.cache.evict_host(host)
         lost_blocks = self.dfs.namenode.remove_host_replicas(host)

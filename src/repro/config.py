@@ -93,12 +93,15 @@ class FailureConfig:
 
 @dataclass(frozen=True)
 class ShuffleConfig:
-    """Which shuffle mechanism the engine uses.
+    """Which shuffle backend the engine's data path uses.
 
-    ``push_based`` False gives Spark's default fetch-based shuffle;
-    True gives the paper's Push/Aggregate.  ``auto_aggregate`` mirrors the
-    ``spark.shuffle.aggregation`` property: when True the DAG scheduler
-    implicitly embeds ``transfer_to()`` before every shuffle.
+    ``backend`` names a strategy registered in
+    :mod:`repro.shuffle.backends` (``"fetch"``, ``"push_aggregate"``,
+    ``"pre_merge"``, ...).  When omitted it is derived from the legacy
+    flags: ``push_based``/``auto_aggregate`` mirror the paper's
+    ``spark.shuffle.aggregation`` property and select the Push/Aggregate
+    backend (implicit ``transfer_to()`` before every shuffle); both False
+    selects Spark's default fetch-based shuffle.
     """
 
     push_based: bool = False
@@ -106,6 +109,15 @@ class ShuffleConfig:
     # Number of datacenters shuffle input is aggregated into (§III-B uses
     # a single datacenter "as an example"; >1 is our ablation extension).
     aggregation_subset_size: int = 1
+    # Explicit backend name; None derives it from the legacy flags.
+    backend: Optional[str] = None
+
+    @property
+    def backend_name(self) -> str:
+        """The registered backend this configuration resolves to."""
+        if self.backend is not None:
+            return self.backend
+        return "push_aggregate" if self.auto_aggregate else "fetch"
 
     def validate(self) -> None:
         if self.auto_aggregate and not self.push_based:
@@ -114,6 +126,16 @@ class ShuffleConfig:
             )
         if self.aggregation_subset_size < 1:
             raise ConfigurationError("aggregation_subset_size must be >= 1")
+        # Imported lazily: the backend modules depend on config for their
+        # own imports.
+        from repro.shuffle.backends import backend_names
+
+        if self.backend_name not in backend_names():
+            known = ", ".join(sorted(backend_names()))
+            raise ConfigurationError(
+                f"unknown shuffle backend {self.backend_name!r} "
+                f"(registered: {known})"
+            )
 
 
 @dataclass(frozen=True)
@@ -163,4 +185,27 @@ def agg_shuffle_config(**overrides) -> SimulationConfig:
     return SimulationConfig(
         shuffle=ShuffleConfig(push_based=True, auto_aggregate=True),
         **overrides,
+    )
+
+
+def backend_config(backend: str, **overrides) -> SimulationConfig:
+    """A configuration running any registered shuffle backend by name."""
+    return SimulationConfig(
+        shuffle=shuffle_config_for_backend(backend), **overrides
+    )
+
+
+def shuffle_config_for_backend(
+    backend: str, aggregation_subset_size: int = 1
+) -> ShuffleConfig:
+    """A :class:`ShuffleConfig` for one registered backend, with the
+    legacy flags kept consistent for code that still reads them."""
+    from repro.shuffle.backends import backend_class
+
+    implicit = backend_class(backend).implicit_transfers
+    return ShuffleConfig(
+        push_based=implicit,
+        auto_aggregate=implicit,
+        aggregation_subset_size=aggregation_subset_size,
+        backend=backend,
     )

@@ -1,8 +1,10 @@
 """Implicit embedding of ``transfer_to`` before every shuffle (§IV-D).
 
-When ``ShuffleConfig.auto_aggregate`` is on (the analogue of setting
-``spark.shuffle.aggregation=true``), the DAG scheduler calls
-:func:`insert_transfers` on the job's final RDD before building stages.
+This is the lineage-rewrite pass of the Push/Aggregate shuffle backend
+(:class:`repro.shuffle.backends.push_aggregate.PushAggregateBackend`),
+the analogue of setting ``spark.shuffle.aggregation=true``: the backend
+calls :func:`insert_transfers` on the job's final RDD from its
+``prepare_job`` hook, before the DAG scheduler builds stages.
 Each shuffle dependency's parent is wrapped in a
 :class:`~repro.rdd.transferred.TransferredRDD` with
 

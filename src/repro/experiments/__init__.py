@@ -1,10 +1,12 @@
 """Experiment harness: everything needed to regenerate the paper's
 tables and figures.
 
-* :mod:`repro.experiments.schemes` — the three compared systems:
-  ``Spark`` (stock fetch-based shuffle), ``Centralized`` (ship all raw
-  input to one datacenter first), ``AggShuffle`` (the paper's
-  Push/Aggregate with implicit ``transfer_to``).
+* :mod:`repro.experiments.schemes` — the scheme registry, enumerated
+  from the registered shuffle backends: ``Spark`` (stock fetch-based
+  shuffle), ``Centralized`` (ship all raw input to one datacenter
+  first), ``AggShuffle`` (the paper's Push/Aggregate with implicit
+  ``transfer_to``), plus the ``IridiumLike`` and ``PreMerge``
+  extensions.
 * :mod:`repro.experiments.runner` — run one (workload, scheme, seed)
   cell on the Fig. 6 cluster and collect metrics.
 * :mod:`repro.experiments.figures` — Fig. 7 (job completion times),
@@ -14,7 +16,15 @@ tables and figures.
   examples on the raw network fabric.
 """
 
-from repro.experiments.schemes import Scheme, config_for_scheme
+from repro.experiments.schemes import (
+    PAPER_SCHEMES,
+    SCHEME_REGISTRY,
+    Scheme,
+    SchemeSpec,
+    all_schemes,
+    config_for_scheme,
+    scheme_spec,
+)
 from repro.experiments.runner import (
     ExperimentPlan,
     RunResult,
@@ -29,7 +39,12 @@ from repro.experiments.figures import (
 )
 
 __all__ = [
+    "PAPER_SCHEMES",
+    "SCHEME_REGISTRY",
     "Scheme",
+    "SchemeSpec",
+    "all_schemes",
+    "scheme_spec",
     "config_for_scheme",
     "ExperimentPlan",
     "RunResult",

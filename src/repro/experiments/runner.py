@@ -24,14 +24,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.builder import ClusterSpec, ec2_six_region_spec
 from repro.cluster.context import ClusterContext
 from repro.config import SimulationConfig
-from repro.experiments.centralize import centralize_input
 from repro.metrics.billing import bill_traffic
-from repro.experiments.iridium import iridium_redistribute
 from repro.experiments.placement import (
     DEFAULT_HOT_WEIGHT,
     skewed_block_placement,
 )
-from repro.experiments.schemes import Scheme, config_for_scheme
+from repro.experiments.schemes import Scheme, config_for_scheme, scheme_spec
 from repro.simulation.random_source import RandomSource
 from repro.workloads.base import Workload
 
@@ -68,6 +66,10 @@ class RunResult:
     # Substrate perf counters of the run's fabric (solver cost etc.;
     # see repro.metrics.perf) — regressions show up in every bench.
     fabric_perf: Dict[str, float] = field(default_factory=dict)
+    # The shuffle backend that moved the data, plus its perf counters
+    # (blocks pushed, WAN vs. intra-DC bytes, merge fan-in, ...).
+    backend: str = ""
+    shuffle_perf: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -128,16 +130,12 @@ def run_workload_once(
     )
     workload.install(context, partitions, placement_hosts=placement)
 
+    spec = scheme_spec(scheme)
     started = context.sim.now
     centralize_duration = 0.0
-    if scheme is Scheme.CENTRALIZED:
-        destination = plan.cluster.resolved_driver_datacenter
-        centralize_duration = centralize_input(
-            context, workload.input_path, destination
-        )
-    elif scheme is Scheme.IRIDIUM:
-        centralize_duration = iridium_redistribute(
-            context, workload.input_path
+    if spec.preprocess is not None:
+        centralize_duration = spec.preprocess(
+            context, workload.input_path, plan.cluster
         )
     action_result = workload.run(context)
     duration = context.sim.now - started
@@ -153,13 +151,11 @@ def run_workload_once(
         )
         for span in job.stages
     ]
-    if scheme in (Scheme.CENTRALIZED, Scheme.IRIDIUM) and centralize_duration > 0:
+    if spec.preprocess is not None and centralize_duration > 0:
         stages.insert(
             0,
             StageRecord(
-                name="centralize-input"
-                if scheme is Scheme.CENTRALIZED
-                else "redistribute-input",
+                name=spec.preprocess_stage_name,
                 kind="centralize",
                 started_at=started,
                 duration=centralize_duration,
@@ -183,6 +179,8 @@ def run_workload_once(
         injected_failures=job.injected_failures,
         action_result=action_result if plan.keep_action_results else None,
         fabric_perf=context.fabric.perf_snapshot(),
+        backend=context.shuffle_service.backend_name,
+        shuffle_perf=context.shuffle_service.perf_snapshot(),
     )
 
 

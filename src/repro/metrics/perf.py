@@ -24,7 +24,7 @@ incremented from the solver event loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -64,4 +64,103 @@ class FabricPerfCounters:
             f"solver={self.solver_seconds * 1e3:.1f}ms "
             f"peak_flows={self.peak_active_flows} "
             f"jitter_noops={self.jitter_noops}"
+        )
+
+
+@dataclass
+class ShuffleCounters:
+    """Per-backend counters of the shuffle data path.
+
+    Owned by :class:`repro.shuffle.service.ShuffleService` and
+    incremented by the active backend; every byte the backend moves over
+    the network is accounted here, split WAN vs. intra-datacenter, so
+    the invariant *counter bytes == traffic-monitor bytes for the
+    backend's flow tags* is checkable (and checked, by the property
+    suite in ``tests/shuffle``).
+
+    * ``shuffles_registered``     — shuffles whose lifecycle the service
+      opened (idempotent re-registration is not re-counted);
+    * ``map_outputs_registered``  — sharded map outputs published;
+    * ``reduce_reads``            — reduce-side read operations served;
+    * ``blocks_fetched``          — remote reads issued by reducers
+      (per-shard flows for the fetch backend, per-source-host coalesced
+      flows for the pre-merge backend);
+    * ``blocks_pushed``           — partitions staged at a ``transfer_to``
+      boundary for a receiver pull (the push path's unit of work);
+    * ``merge_rounds``            — per-(shuffle, datacenter) merge
+      operations executed by the pre-merge backend;
+    * ``merge_fan_in``            — total map outputs consolidated across
+      all merge rounds (``mean_merge_fan_in`` derives the average);
+    * ``wan_bytes`` / ``intra_dc_bytes`` — network bytes moved by the
+      backend, split by whether the flow crossed a datacenter boundary;
+    * ``local_bytes``             — shuffle input served from local disk
+      (no network flow).
+    """
+
+    shuffles_registered: int = 0
+    map_outputs_registered: int = 0
+    reduce_reads: int = 0
+    blocks_fetched: int = 0
+    blocks_pushed: int = 0
+    merge_rounds: int = 0
+    merge_fan_in: int = 0
+    wan_bytes: float = 0.0
+    intra_dc_bytes: float = 0.0
+    local_bytes: float = 0.0
+    # Network bytes attributable to one shuffle id (reduce fetches and
+    # pre-merge consolidation; transfer_to flows are keyed by transfer,
+    # not shuffle, and appear only in the totals above).
+    network_bytes_by_shuffle: Dict[int, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def network_bytes(self) -> float:
+        return self.wan_bytes + self.intra_dc_bytes
+
+    @property
+    def mean_merge_fan_in(self) -> float:
+        return self.merge_fan_in / self.merge_rounds if self.merge_rounds else 0.0
+
+    def note_flow(
+        self,
+        src_dc: str,
+        dst_dc: str,
+        size_bytes: float,
+        shuffle_id: int | None = None,
+    ) -> None:
+        """Account one network flow issued by the backend."""
+        if src_dc != dst_dc:
+            self.wan_bytes += size_bytes
+        else:
+            self.intra_dc_bytes += size_bytes
+        if shuffle_id is not None:
+            self.network_bytes_by_shuffle[shuffle_id] = (
+                self.network_bytes_by_shuffle.get(shuffle_id, 0.0) + size_bytes
+            )
+
+    def note_local_read(self, size_bytes: float) -> None:
+        self.local_bytes += size_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat float summary (per-shuffle breakdown omitted)."""
+        summary = {
+            f.name: float(getattr(self, f.name))
+            for f in fields(self)
+            if f.name != "network_bytes_by_shuffle"
+        }
+        summary["network_bytes"] = self.network_bytes
+        summary["mean_merge_fan_in"] = self.mean_merge_fan_in
+        return summary
+
+    def format_summary(self) -> str:
+        """One-line human-readable summary for CLI / bench output."""
+        return (
+            f"maps={self.map_outputs_registered} "
+            f"reads={self.reduce_reads} "
+            f"fetched={self.blocks_fetched} pushed={self.blocks_pushed} "
+            f"merges={self.merge_rounds} "
+            f"(fan-in {self.mean_merge_fan_in:.1f}) "
+            f"wan={self.wan_bytes / 1e6:.1f}MB "
+            f"intra={self.intra_dc_bytes / 1e6:.1f}MB "
+            f"local={self.local_bytes / 1e6:.1f}MB"
         )

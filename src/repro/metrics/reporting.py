@@ -9,7 +9,7 @@ as first-class stages) and the cross-datacenter traffic matrix.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.metrics.collectors import JobMetrics
 from repro.network.traffic_monitor import TrafficMonitor

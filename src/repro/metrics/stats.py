@@ -9,7 +9,7 @@ treatment is applied per stage in Fig. 9.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 def trimmed_mean(values: Sequence[float], trim_fraction: float = 0.1) -> float:

@@ -15,7 +15,7 @@ from typing import Any, Callable, List, Optional
 from repro.errors import PartitionError, RDDError
 from repro.rdd.aggregator import Aggregator
 from repro.rdd.partitioner import HashPartitioner
-from repro.rdd.rdd import RDD, MapPartitionsRDD
+from repro.rdd.rdd import RDD
 
 
 def _coalesce(self: RDD, num_partitions: int) -> RDD:

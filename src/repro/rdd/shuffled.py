@@ -5,10 +5,12 @@ partitionBy, differing only in aggregator and ordering.
 :class:`CoGroupedRDD` consumes two shuffles at once and underlies
 ``join``/``cogroup``.
 
-Both obtain their input through ``runtime.shuffle_read``, which performs
-the actual (fetch-based or push-aggregated) data movement — the RDD layer
-is agnostic to the mechanism, exactly as in the paper's design where
-``transferTo`` changes *where shuffle input lives*, not what reducers do.
+Both obtain their input through ``runtime.shuffle_read``, which routes
+to the context's :class:`~repro.shuffle.service.ShuffleService` — the
+active backend (fetch, push/aggregate, pre-merge, ...) performs the
+actual data movement.  The RDD layer is agnostic to the mechanism,
+exactly as in the paper's design where ``transferTo`` changes *where
+shuffle input lives*, not what reducers do.
 """
 
 from __future__ import annotations

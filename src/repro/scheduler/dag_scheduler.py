@@ -3,8 +3,10 @@
 Responsibilities (mirroring Spark's DAGScheduler plus the paper's
 modifications):
 
-* optionally rewrite the lineage with implicit ``transfer_to`` before
-  every shuffle (``auto_aggregate``, §IV-D);
+* hand the lineage to the shuffle service for backend-specific
+  rewriting (the push backend embeds implicit ``transfer_to`` before
+  every shuffle, §IV-D; other backends leave it unchanged) — the
+  scheduler itself is strategy-agnostic;
 * build the stage DAG (shuffle *and* transfer boundaries);
 * submit stages parents-first; shuffle parents are barriers, while
   transfer-producer parents are *pipelined*: each receiver task becomes
@@ -23,7 +25,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.aggregation import select_aggregator_datacenters
-from repro.core.transfer_injection import insert_transfers
 from repro.errors import SchedulerError
 from repro.rdd.dependencies import (
     NarrowDependency,
@@ -57,9 +58,7 @@ class DAGScheduler:
     # Job entry point (a generator to be spawned on the simulator)
     # ------------------------------------------------------------------
     def run_job(self, final_rdd: RDD, action: str, save_path: Optional[str] = None):
-        config = self.context.config
-        if config.shuffle.auto_aggregate:
-            final_rdd = insert_transfers(final_rdd)
+        final_rdd = self.context.shuffle_service.prepare_job(final_rdd)
         result_stage, stages = build_stages(final_rdd)
         if action == "save":
             result_stage.save_path = save_path  # type: ignore[attr-defined]
@@ -114,7 +113,7 @@ class DAGScheduler:
         if stage.kind is StageKind.SHUFFLE_MAP:
             dep = stage.outgoing_dep
             assert isinstance(dep, ShuffleDependency)
-            context.map_output_tracker.register_shuffle(
+            context.shuffle_service.register_shuffle(
                 dep.shuffle_id, stage.num_partitions
             )
         # Resolve the aggregator datacenter(s) at producer submission
@@ -123,6 +122,10 @@ class DAGScheduler:
             self._resolve_destination(stage)
 
         self.metrics.on_stage_start(stage, self.sim.now)
+        # Backend hook between the map barrier and task launch: the
+        # pre-merge backend consolidates map output per datacenter here;
+        # other backends yield nothing.
+        yield from context.shuffle_service.prepare_stage_inputs(stage)
         done_events = self._task_done_events[stage.stage_id]
         launch_times: Dict[int, float] = {}
         for partition in range(stage.num_partitions):

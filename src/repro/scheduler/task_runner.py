@@ -21,7 +21,6 @@ from repro.rdd.dependencies import ShuffleDependency, TransferDependency
 from repro.scheduler.stage import StageKind
 from repro.scheduler.task import Task, TaskResult
 from repro.scheduler.task_runtime import TaskRuntime
-from repro.shuffle.map_output_tracker import MapStatus
 from repro.shuffle.stores import ShuffleShard
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -125,16 +124,8 @@ class TaskRunner:
         total_bytes = sum(shard.size_bytes for shard in shards)
         yield from runtime.charge_shuffle_write(total_bytes)
         yield from runtime.charge_disk_write(total_bytes)
-        self.context.shuffle_store.put_map_output(
+        self.context.shuffle_service.register_map_output(
             dep.shuffle_id, task.partition, host, shards
-        )
-        self.context.map_output_tracker.register_map_output(
-            dep.shuffle_id,
-            MapStatus(
-                map_index=task.partition,
-                host=host,
-                shard_sizes=[shard.size_bytes for shard in shards],
-            ),
         )
         return total_bytes
 
@@ -155,7 +146,7 @@ class TaskRunner:
             yield from runtime.charge_combine(stage.rdd, records)
             records = dep.pre_combine.combine_values(records)
         size = self.context.estimator.estimate(records)
-        self.context.transfer_tracker.stage_partition(
+        self.context.shuffle_service.stage_transfer_partition(
             dep.transfer_id, task.partition, host, list(records), size
         )
         return size

@@ -6,13 +6,12 @@ Every ``RDD.compute`` generator receives a TaskRuntime and uses it to
   narrow dependencies, consults the cache, and stops at stage boundaries;
 * read input blocks (``read_input_block``): local replicas cost disk
   time, remote replicas a network flow (closest replica wins);
-* read shuffle input (``shuffle_read``): all shards are fetched with
-  *concurrent* flows — the bursty all-to-all pattern of §II-B — while
-  host-local shards cost only disk time.  In push mode the tracker simply
-  points at receiver hosts, so the identical code becomes a mostly
-  datacenter-local read;
-* pull a staged transfer partition (``transfer_read``): a single flow
-  from the origin host, a no-op when the partition is already local;
+* read shuffle input (``shuffle_read``) and staged transfer partitions
+  (``transfer_read``): both delegate to the context's
+  :class:`~repro.shuffle.service.ShuffleService`, so how the bytes move
+  (per-shard fetch, push/aggregate, per-datacenter pre-merge, ...) is
+  the active backend's decision — the runtime and RDD layers are
+  strategy-agnostic;
 * charge operator CPU/sort time from logical byte volumes.
 """
 
@@ -101,47 +100,18 @@ class TaskRuntime:
         return list(records)
 
     def shuffle_read(self, dep: ShuffleDependency, reduce_index: int):
-        """Fetch this reducer's shards from every map output location."""
-        tracker = self.context.map_output_tracker
-        store = self.context.shuffle_store
-        statuses = tracker.map_statuses(dep.shuffle_id)
-        records: List[Any] = []
-        flows = []
-        local_bytes = 0.0
-        for status in statuses:
-            shard = store.get_shard(
-                dep.shuffle_id, status.map_index, reduce_index
-            )
-            records.extend(shard.records)
-            if shard.size_bytes <= 0:
-                continue
-            if status.host == self.host:
-                local_bytes += shard.size_bytes
-            else:
-                flows.append(
-                    self.context.fabric.transfer(
-                        status.host, self.host, shard.size_bytes, tag="shuffle"
-                    )
-                )
-                self.shuffle_bytes_fetched += shard.size_bytes
-        if local_bytes > 0:
-            yield self.sim.timeout(
-                self.context.config.disk.read_time(local_bytes)
-            )
-            self.bytes_read_local += local_bytes
-        if flows:
-            yield self.sim.all_of(flows)
+        """Read this reducer's input through the active shuffle backend."""
+        records = yield from self.context.shuffle_service.shuffle_read(
+            self, dep, reduce_index
+        )
         return records
 
     def transfer_read(self, dep: TransferDependency, index: int):
         """Pull a staged partition from its origin host (receiver task)."""
-        staged = self.context.transfer_tracker.get(dep.transfer_id, index)
-        if staged.host != self.host and staged.size_bytes > 0:
-            yield self.context.fabric.transfer(
-                staged.host, self.host, staged.size_bytes, tag="transfer_to"
-            )
-            self.bytes_transferred_in += staged.size_bytes
-        return list(staged.records)
+        records = yield from self.context.shuffle_service.transfer_read(
+            self, dep, index
+        )
+        return records
 
     # ------------------------------------------------------------------
     # Time charging

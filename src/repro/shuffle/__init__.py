@@ -1,5 +1,11 @@
-"""Shuffle machinery: trackers and data stores.
+"""Shuffle machinery: the pluggable service, trackers, and data stores.
 
+* :class:`~repro.shuffle.service.ShuffleService` /
+  :class:`~repro.shuffle.service.ShuffleBackend` — the swappable data
+  path: how map output is placed, reorganised, and served to reducers.
+  Built-in strategies live in :mod:`repro.shuffle.backends` (fetch,
+  push_aggregate, pre_merge) and are addressed by name through
+  ``ShuffleConfig.backend``.
 * :class:`~repro.shuffle.map_output_tracker.MapOutputTracker` — where each
   map task's sharded output lives and how big each shard is (the driver-
   side metadata Spark keeps under the same name).
@@ -12,11 +18,14 @@
 """
 
 from repro.shuffle.map_output_tracker import MapOutputTracker, MapStatus
+from repro.shuffle.service import ShuffleBackend, ShuffleService
 from repro.shuffle.stores import ShuffleStore, TransferTracker, StagedPartition
 
 __all__ = [
     "MapOutputTracker",
     "MapStatus",
+    "ShuffleBackend",
+    "ShuffleService",
     "ShuffleStore",
     "TransferTracker",
     "StagedPartition",

@@ -1,0 +1,178 @@
+"""Pre-merge backend: consolidate map output per datacenter, then fetch.
+
+A FuxiShuffle/Magnet-style middle ground between the fetch baseline and
+the paper's full Push/Aggregate.  After a shuffle's map stage completes
+(and before any reducer launches), each datacenter's scattered map
+outputs are merged onto a single *merger host* — the host already
+holding the most bytes of that shuffle inside the datacenter — using
+cheap intra-datacenter flows.  The WAN hop then degenerates from the
+bursty per-shard all-to-all of §II-B to **one coalesced flow per remote
+datacenter per reducer**: the same bytes cross the WAN, but as few
+large sequential transfers instead of ``maps x reducers`` tiny ones,
+which matters under per-flow fair sharing and the cluster's WAN flow
+cap.
+
+Correctness: the merge relocates shards without touching their records,
+and ``shuffle_read`` concatenates shards in global map-index order —
+byte-identical reduce input (hence byte-identical job output) to the
+fetch baseline; only time and traffic shape differ.  The
+backend-equivalence suite in ``tests/shuffle`` pins this down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Set, Tuple
+
+from repro.shuffle.service import ShuffleBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rdd.dependencies import ShuffleDependency
+    from repro.scheduler.task_runtime import TaskRuntime
+    from repro.shuffle.map_output_tracker import MapStatus
+
+
+class PreMergeBackend(ShuffleBackend):
+    """Merge map outputs per-datacenter before the WAN hop."""
+
+    name = "pre_merge"
+    scheme_label = "PreMerge"
+    implicit_transfers = False
+    flow_tags = ("shuffle", "shuffle_merge", "transfer_to")
+
+    def __init__(self) -> None:
+        super().__init__()
+        # Shuffles whose outputs were already consolidated; a shuffle is
+        # merged at most once (iterative jobs reuse the merged layout).
+        self._merged: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Pre-reduce consolidation
+    # ------------------------------------------------------------------
+    def prepare_shuffle_input(self, dep: "ShuffleDependency"):
+        shuffle_id = dep.shuffle_id
+        if shuffle_id in self._merged:
+            return
+        self._merged.add(shuffle_id)
+        context = self.context
+        topology = context.topology
+        statuses = context.map_output_tracker.map_statuses(shuffle_id)
+
+        by_dc: Dict[str, List["MapStatus"]] = {}
+        for status in statuses:
+            by_dc.setdefault(topology.datacenter_of(status.host), []).append(
+                status
+            )
+
+        flows = []
+        moves: List[Tuple["MapStatus", str]] = []
+        for datacenter in sorted(by_dc):
+            group = by_dc[datacenter]
+            per_host: Dict[str, float] = {}
+            for status in group:
+                per_host[status.host] = (
+                    per_host.get(status.host, 0.0) + status.total_size
+                )
+            if len(per_host) < 2:
+                continue  # already co-located (or a single map)
+            # Merger = the host with the most of this shuffle's bytes;
+            # ties break lexicographically for determinism.
+            merger = min(per_host, key=lambda host: (-per_host[host], host))
+            self.counters.merge_rounds += 1
+            self.counters.merge_fan_in += len(group)
+            for status in group:
+                if status.host == merger:
+                    continue
+                moves.append((status, merger))
+                if status.total_size > 0:
+                    flows.append(
+                        context.fabric.transfer(
+                            status.host, merger, status.total_size,
+                            tag="shuffle_merge",
+                        )
+                    )
+                    self._account_flow(
+                        status.host, merger, status.total_size,
+                        shuffle_id=shuffle_id,
+                    )
+        if flows:
+            yield context.sim.all_of(flows)
+        # Relocate metadata and payloads only after the flows finished:
+        # reducers are not launched until this process returns, so no
+        # read can observe a half-merged layout.
+        for status, merger in moves:
+            shards = [
+                context.shuffle_store.get_shard(
+                    shuffle_id, status.map_index, reduce_index
+                )
+                for reduce_index in range(len(status.shard_sizes))
+            ]
+            self.register_map_output(
+                shuffle_id, status.map_index, merger, shards
+            )
+            self.counters.map_outputs_registered -= 1  # relocation, not new
+
+    # ------------------------------------------------------------------
+    # Coalesced reduce read
+    # ------------------------------------------------------------------
+    def shuffle_read(
+        self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
+    ):
+        """One flow per *source host* instead of one per shard.
+
+        After the merge each datacenter exposes (at most) one source
+        host, so a reducer opens at most one WAN flow per remote
+        datacenter.  Records are concatenated in map-index order —
+        exactly the fetch backend's order — so reduce input is
+        byte-identical.
+        """
+        context = self.context
+        statuses = context.map_output_tracker.map_statuses(dep.shuffle_id)
+        store = context.shuffle_store
+        self.counters.reduce_reads += 1
+        records: List[Any] = []
+        by_source: Dict[str, float] = {}
+        for status in statuses:
+            shard = store.get_shard(
+                dep.shuffle_id, status.map_index, reduce_index
+            )
+            records.extend(shard.records)
+            if shard.size_bytes > 0:
+                by_source[status.host] = (
+                    by_source.get(status.host, 0.0) + shard.size_bytes
+                )
+        local_bytes = by_source.pop(runtime.host, 0.0)
+        flows = []
+        for source in sorted(by_source):
+            size = by_source[source]
+            flows.append(
+                context.fabric.transfer(
+                    source, runtime.host, size, tag="shuffle"
+                )
+            )
+            runtime.shuffle_bytes_fetched += size
+            self.counters.blocks_fetched += 1
+            self._account_flow(
+                source, runtime.host, size, shuffle_id=dep.shuffle_id
+            )
+        if local_bytes > 0:
+            yield context.sim.timeout(
+                context.config.disk.read_time(local_bytes)
+            )
+            runtime.bytes_read_local += local_bytes
+            self.counters.note_local_read(local_bytes)
+        if flows:
+            yield context.sim.all_of(flows)
+        return records
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        super().remove_shuffle(shuffle_id)
+        self._merged.discard(shuffle_id)
+
+    def on_host_failure(self, host: str) -> None:
+        """Re-run partitions register at new hosts; allow a re-merge so
+        the recovered outputs are consolidated again before the next
+        consuming stage."""
+        self._merged.clear()

@@ -1,0 +1,34 @@
+"""The paper's Push/Aggregate backend (``transferTo``, §IV).
+
+``prepare_job`` embeds an implicit ``transfer_to`` before every shuffle
+(the §IV-D rewrite previously hard-wired into the DAG scheduler behind
+``ShuffleConfig.auto_aggregate``; the rewrite pass itself still lives in
+:mod:`repro.core.transfer_injection`, which this backend subsumes and is
+now the sole caller of).  Map output is pushed — streamed by receiver
+tasks into the aggregator datacenter while mappers are still producing —
+so the subsequent shuffle read is mostly datacenter-local.  The read and
+staging machinery is the inherited base-class path: the push strategy
+changes *where shuffle input lives*, not what reducers do.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.transfer_injection import insert_transfers
+from repro.shuffle.service import ShuffleBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rdd.rdd import RDD
+
+
+class PushAggregateBackend(ShuffleBackend):
+    """Push/Aggregate: implicit ``transfer_to`` before every shuffle."""
+
+    name = "push_aggregate"
+    scheme_label = "AggShuffle"
+    implicit_transfers = True
+    flow_tags = ("shuffle", "transfer_to")
+
+    def prepare_job(self, final_rdd: "RDD") -> "RDD":
+        return insert_transfers(final_rdd)

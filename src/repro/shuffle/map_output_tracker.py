@@ -70,6 +70,9 @@ class MapOutputTracker:
     def has_map_output(self, shuffle_id: int, map_index: int) -> bool:
         return map_index in self._shuffles.get(shuffle_id, {})
 
+    def is_registered(self, shuffle_id: int) -> bool:
+        return shuffle_id in self._shuffles
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

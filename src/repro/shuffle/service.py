@@ -1,0 +1,319 @@
+"""The shuffle service: a pluggable data path for stage boundaries.
+
+The paper's contribution is *replacing* Spark's fetch-based shuffle with
+a Push/Aggregate strategy; this module lifts that choice out of the
+scheduler and into a swappable **backend**, so a shuffle strategy is a
+registered component rather than a set of branches spread over the DAG
+scheduler, the RDD layer, and the experiment harness.
+
+Division of labour:
+
+* :class:`ShuffleBackend` — the protocol every strategy implements:
+  rewrite the job lineage (``prepare_job``), open per-shuffle lifecycle
+  (``register_shuffle``), publish map output (``register_map_output``),
+  optionally reorganise map output before reducers start
+  (``prepare_shuffle_input``), serve reduce reads (``shuffle_read``) and
+  receiver pulls (``transfer_read``), and account every byte it moves in
+  its :class:`~repro.metrics.perf.ShuffleCounters`.
+* :class:`ShuffleService` — owned by the cluster context; binds exactly
+  one backend, exposes the uniform entry points the scheduler/runtime
+  call, and snapshots counters for ``RunResult``/CLI reporting.
+
+The base class implements the Spark-semantics data path (per-shard
+concurrent fetches, staged-partition pulls), so backends override only
+what they change.  All metadata/payload bookkeeping stays in the
+existing :class:`~repro.shuffle.map_output_tracker.MapOutputTracker`,
+:class:`~repro.shuffle.stores.ShuffleStore`, and
+:class:`~repro.shuffle.stores.TransferTracker`; backends reorganise
+*where* data lives, never what it is.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+
+from repro.metrics.perf import ShuffleCounters
+from repro.shuffle.map_output_tracker import MapStatus
+from repro.shuffle.stores import ShuffleShard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.context import ClusterContext
+    from repro.rdd.dependencies import ShuffleDependency, TransferDependency
+    from repro.rdd.rdd import RDD
+    from repro.scheduler.stage import Stage
+    from repro.scheduler.task_runtime import TaskRuntime
+
+
+class ShuffleBackend:
+    """Base backend: Spark's fetch semantics, fully accounted.
+
+    Subclasses override the hooks they change and set the class
+    attributes:
+
+    * ``name``               — registry key (``ShuffleConfig.backend``);
+    * ``scheme_label``       — the experiment scheme this backend backs
+      (matched against :class:`repro.experiments.schemes.Scheme` values);
+    * ``implicit_transfers`` — True when ``prepare_job`` rewrites the
+      lineage with ``transfer_to`` boundaries (the push path);
+    * ``flow_tags``          — the traffic-monitor tags of every flow
+      this backend issues; the counter/monitor equivalence property is
+      stated over exactly these tags.
+    """
+
+    name: str = "abstract"
+    scheme_label: str = ""
+    implicit_transfers: bool = False
+    flow_tags: Tuple[str, ...] = ("shuffle", "transfer_to")
+
+    def __init__(self) -> None:
+        self.context: "ClusterContext" = None  # type: ignore[assignment]
+        self.counters = ShuffleCounters()
+
+    def bind(self, context: "ClusterContext") -> None:
+        """Attach to one cluster context (called once by the service)."""
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Lineage rewriting
+    # ------------------------------------------------------------------
+    def prepare_job(self, final_rdd: "RDD") -> "RDD":
+        """Hook to rewrite the lineage before stage building (identity
+        by default; the push backend embeds ``transfer_to`` here)."""
+        return final_rdd
+
+    # ------------------------------------------------------------------
+    # Lifecycle and map-output publication
+    # ------------------------------------------------------------------
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        tracker = self.context.map_output_tracker
+        known = tracker.is_registered(shuffle_id)
+        tracker.register_shuffle(shuffle_id, num_maps)
+        if not known:
+            self.counters.shuffles_registered += 1
+
+    def register_map_output(
+        self,
+        shuffle_id: int,
+        map_index: int,
+        host: str,
+        shards: List[ShuffleShard],
+    ) -> None:
+        """Publish one map partition's sharded output at ``host``."""
+        self.context.shuffle_store.put_map_output(
+            shuffle_id, map_index, host, shards
+        )
+        self.context.map_output_tracker.register_map_output(
+            shuffle_id,
+            MapStatus(
+                map_index=map_index,
+                host=host,
+                shard_sizes=[shard.size_bytes for shard in shards],
+            ),
+        )
+        self.counters.map_outputs_registered += 1
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        """Drop one shuffle's metadata and payloads."""
+        self.context.map_output_tracker.unregister_shuffle(shuffle_id)
+        self.context.shuffle_store.remove_shuffle(shuffle_id)
+
+    def on_host_failure(self, host: str) -> None:
+        """Invalidate backend state referring to ``host`` (no-op here)."""
+
+    # ------------------------------------------------------------------
+    # Pre-reduce reorganisation
+    # ------------------------------------------------------------------
+    def prepare_shuffle_input(self, dep: "ShuffleDependency"):
+        """Simulation process run after the map barrier, before the
+        consuming stage's tasks launch.  The pre-merge backend uses it to
+        consolidate map output per datacenter; fetch/push do nothing."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # ------------------------------------------------------------------
+    # Reduce-side reads
+    # ------------------------------------------------------------------
+    def shuffle_read(
+        self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
+    ):
+        """Fetch this reducer's shards from every map output location.
+
+        All remote shards are fetched with *concurrent* flows — the
+        bursty all-to-all pattern of §II-B — while host-local shards
+        cost only disk time.  In push mode the tracker simply points at
+        receiver hosts, so the identical code becomes a mostly
+        datacenter-local read.
+        """
+        context = self.context
+        statuses = context.map_output_tracker.map_statuses(dep.shuffle_id)
+        store = context.shuffle_store
+        self.counters.reduce_reads += 1
+        records: List[Any] = []
+        flows = []
+        local_bytes = 0.0
+        for status in statuses:
+            shard = store.get_shard(
+                dep.shuffle_id, status.map_index, reduce_index
+            )
+            records.extend(shard.records)
+            if shard.size_bytes <= 0:
+                continue
+            if status.host == runtime.host:
+                local_bytes += shard.size_bytes
+            else:
+                flows.append(
+                    context.fabric.transfer(
+                        status.host, runtime.host, shard.size_bytes,
+                        tag="shuffle",
+                    )
+                )
+                runtime.shuffle_bytes_fetched += shard.size_bytes
+                self.counters.blocks_fetched += 1
+                self._account_flow(
+                    status.host, runtime.host, shard.size_bytes,
+                    shuffle_id=dep.shuffle_id,
+                )
+        if local_bytes > 0:
+            yield context.sim.timeout(
+                context.config.disk.read_time(local_bytes)
+            )
+            runtime.bytes_read_local += local_bytes
+            self.counters.note_local_read(local_bytes)
+        if flows:
+            yield context.sim.all_of(flows)
+        return records
+
+    # ------------------------------------------------------------------
+    # Transfer boundaries (the push path's unit of data movement)
+    # ------------------------------------------------------------------
+    def stage_transfer_partition(
+        self,
+        transfer_id: int,
+        partition_index: int,
+        host: str,
+        records: List[Any],
+        size_bytes: float,
+    ) -> None:
+        """Stage a whole partition at ``host`` for a receiver pull."""
+        self.context.transfer_tracker.stage_partition(
+            transfer_id, partition_index, host, records, size_bytes
+        )
+        self.counters.blocks_pushed += 1
+
+    def transfer_read(
+        self, runtime: "TaskRuntime", dep: "TransferDependency", index: int
+    ):
+        """Pull a staged partition from its origin (receiver task);
+        a no-op when the partition is already local."""
+        staged = self.context.transfer_tracker.get(dep.transfer_id, index)
+        if staged.host != runtime.host and staged.size_bytes > 0:
+            yield self.context.fabric.transfer(
+                staged.host, runtime.host, staged.size_bytes, tag="transfer_to"
+            )
+            runtime.bytes_transferred_in += staged.size_bytes
+            self._account_flow(staged.host, runtime.host, staged.size_bytes)
+        return list(staged.records)
+
+    # ------------------------------------------------------------------
+    # Accounting helper
+    # ------------------------------------------------------------------
+    def _account_flow(
+        self, src: str, dst: str, size_bytes: float, shuffle_id: int | None = None
+    ) -> None:
+        topology = self.context.topology
+        self.counters.note_flow(
+            topology.datacenter_of(src),
+            topology.datacenter_of(dst),
+            size_bytes,
+            shuffle_id=shuffle_id,
+        )
+
+
+class ShuffleService:
+    """Per-context facade over exactly one :class:`ShuffleBackend`.
+
+    The scheduler, the task runtime, and the task runner call only this
+    class; which strategy actually moves the bytes is decided once, at
+    context construction, from ``ShuffleConfig.backend_name``.
+    """
+
+    def __init__(self, context: "ClusterContext", backend: ShuffleBackend) -> None:
+        self.context = context
+        self.backend = backend
+        backend.bind(context)
+
+    # ------------------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
+
+    @property
+    def counters(self) -> ShuffleCounters:
+        return self.backend.counters
+
+    # ------------------------------------------------------------------
+    # Uniform entry points (delegation, no strategy branches)
+    # ------------------------------------------------------------------
+    def prepare_job(self, final_rdd: "RDD") -> "RDD":
+        return self.backend.prepare_job(final_rdd)
+
+    def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
+        self.backend.register_shuffle(shuffle_id, num_maps)
+
+    def register_map_output(
+        self,
+        shuffle_id: int,
+        map_index: int,
+        host: str,
+        shards: List[ShuffleShard],
+    ) -> None:
+        self.backend.register_map_output(shuffle_id, map_index, host, shards)
+
+    def prepare_stage_inputs(self, stage: "Stage"):
+        """Run the backend's pre-reduce hook for every shuffle this
+        stage consumes (a simulation sub-process of the stage)."""
+        seen = set()
+        for dep in stage.boundary_shuffle_deps:
+            if dep.shuffle_id in seen:
+                continue
+            seen.add(dep.shuffle_id)
+            yield from self.backend.prepare_shuffle_input(dep)
+
+    def shuffle_read(
+        self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
+    ):
+        records = yield from self.backend.shuffle_read(
+            runtime, dep, reduce_index
+        )
+        return records
+
+    def stage_transfer_partition(
+        self,
+        transfer_id: int,
+        partition_index: int,
+        host: str,
+        records: List[Any],
+        size_bytes: float,
+    ) -> None:
+        self.backend.stage_transfer_partition(
+            transfer_id, partition_index, host, records, size_bytes
+        )
+
+    def transfer_read(
+        self, runtime: "TaskRuntime", dep: "TransferDependency", index: int
+    ):
+        records = yield from self.backend.transfer_read(runtime, dep, index)
+        return records
+
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        self.backend.remove_shuffle(shuffle_id)
+
+    def on_host_failure(self, host: str) -> None:
+        self.backend.on_host_failure(host)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def perf_snapshot(self) -> Dict[str, float]:
+        """Flat counter summary for ``RunResult.shuffle_perf``."""
+        return self.counters.as_dict()

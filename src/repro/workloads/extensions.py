@@ -16,8 +16,6 @@ experiment harness and all three schemes apply unchanged.
 
 from __future__ import annotations
 
-import dataclasses
-import math
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.cluster.context import ClusterContext

@@ -27,16 +27,29 @@ def small_spec(
     )
 
 
-def quiet_config(push: bool = False, seed: int = 0, **overrides) -> SimulationConfig:
+def quiet_config(
+    push: bool = False,
+    seed: int = 0,
+    backend: str | None = None,
+    **overrides,
+) -> SimulationConfig:
     """Deterministic config: no jitter, no failures."""
-    shuffle = ShuffleConfig(push_based=push, auto_aggregate=push)
+    shuffle = ShuffleConfig(
+        push_based=push, auto_aggregate=push, backend=backend
+    )
     return SimulationConfig(seed=seed, shuffle=shuffle, jitter=None, **overrides)
 
 
-def make_context(push: bool = False, seed: int = 0, spec=None, **overrides):
+def make_context(
+    push: bool = False,
+    seed: int = 0,
+    spec=None,
+    backend: str | None = None,
+    **overrides,
+):
     return ClusterContext(
         spec if spec is not None else small_spec(),
-        quiet_config(push=push, seed=seed, **overrides),
+        quiet_config(push=push, seed=seed, backend=backend, **overrides),
     )
 
 

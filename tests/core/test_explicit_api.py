@@ -6,7 +6,6 @@ placement themselves.  These tests run with ``push_based=True`` but
 calls ``transfer_to`` itself.
 """
 
-import dataclasses
 
 import pytest
 

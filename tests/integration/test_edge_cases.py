@@ -12,7 +12,7 @@ from repro.errors import (
     FileNotFoundInDFSError,
     TaskFailedError,
 )
-from tests.conftest import make_context, quiet_config, small_spec
+from tests.conftest import quiet_config, small_spec
 
 
 def test_text_file_on_missing_path_raises(fetch_context):

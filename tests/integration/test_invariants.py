@@ -4,7 +4,6 @@ Rather than checking one scenario, these tests assert conservation and
 determinism laws that must hold for *any* job the engine runs.
 """
 
-import dataclasses
 
 import pytest
 from hypothesis import given, settings, strategies as st

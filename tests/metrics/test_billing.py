@@ -3,7 +3,6 @@
 import pytest
 
 from repro.metrics.billing import (
-    BillingReport,
     PricingPolicy,
     bill_traffic,
     cost_comparison,

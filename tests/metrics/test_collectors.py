@@ -2,7 +2,6 @@
 
 from repro.metrics.collectors import MetricsCollector
 from repro.scheduler.task import TaskResult
-from tests.conftest import make_context
 
 
 class _FakeKind:

@@ -1,6 +1,5 @@
 """Text reporting: tables, timelines, traffic views, lineage dumps."""
 
-import pytest
 
 from repro.metrics.collectors import JobMetrics, StageSpan
 from repro.metrics.reporting import (

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.metrics.stats import (
-    SummaryStats,
     interquartile_range,
     median,
     reduction_percent,

@@ -1,6 +1,5 @@
 """transfer_to(): the paper's transformation, explicit usage."""
 
-import pytest
 
 from repro.rdd.transferred import TransferredRDD
 from tests.conftest import make_context, small_spec

@@ -5,7 +5,6 @@ mechanisms where relevant) and compares against the obvious Python
 computation.
 """
 
-import pytest
 
 from tests.conftest import make_context
 

@@ -2,8 +2,7 @@
 
 import pytest
 
-import repro.cluster  # ensures broadcast support is installed
-from tests.conftest import make_context
+import repro.cluster  # noqa: F401  (installs broadcast support)
 
 
 def test_broadcast_value_accessible_at_driver(fetch_context):

@@ -2,8 +2,6 @@
 
 import pytest
 
-from tests.conftest import make_context
-
 
 def test_two_jobs_complete_with_correct_results(push_context):
     context = push_context

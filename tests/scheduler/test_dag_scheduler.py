@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import ReproError
 from tests.conftest import make_context
 
 

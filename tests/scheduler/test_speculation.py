@@ -2,12 +2,8 @@
 
 import dataclasses
 
-import pytest
-
 from repro.cluster.context import ClusterContext
 from repro.config import SchedulingConfig
-from repro.failures import StragglerModel
-from repro.simulation import RandomSource
 from tests.conftest import quiet_config, small_spec
 
 

@@ -1,10 +1,8 @@
 """Stage decomposition: boundaries, sharing, and transfer semantics."""
 
-import pytest
 
 from repro.core.transfer_injection import insert_transfers
 from repro.scheduler.stage import StageKind, build_stages
-from tests.conftest import make_context
 
 
 def install(context, partitions=None, path="/in"):

@@ -5,7 +5,6 @@ import pytest
 from repro.scheduler.task import Task
 from repro.scheduler.task_runtime import TaskRuntime
 from repro.scheduler.stage import build_stages
-from tests.conftest import make_context
 
 
 def runtime_for(context, rdd, host="dc-a-w0", partition=0):

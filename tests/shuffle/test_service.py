@@ -1,0 +1,266 @@
+"""The ShuffleService layer: registry, config resolution, wiring."""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+
+import pytest
+
+from repro.config import (
+    ShuffleConfig,
+    SimulationConfig,
+    backend_config,
+    shuffle_config_for_backend,
+)
+from repro.errors import ConfigurationError
+from repro.shuffle.backends import (
+    backend_class,
+    backend_names,
+    create_backend,
+)
+from repro.shuffle.backends.fetch import FetchShuffleBackend
+from repro.shuffle.backends.pre_merge import PreMergeBackend
+from repro.shuffle.backends.push_aggregate import PushAggregateBackend
+from repro.shuffle.service import ShuffleBackend
+from tests.conftest import make_context, small_spec
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_registry_contains_the_three_backends():
+    names = backend_names()
+    assert "fetch" in names
+    assert "push_aggregate" in names
+    assert "pre_merge" in names
+
+
+def test_backend_class_lookup():
+    assert backend_class("fetch") is FetchShuffleBackend
+    assert backend_class("push_aggregate") is PushAggregateBackend
+    assert backend_class("pre_merge") is PreMergeBackend
+
+
+def test_unknown_backend_raises_with_known_names():
+    with pytest.raises(ConfigurationError, match="fetch"):
+        create_backend("carrier-pigeon")
+
+
+def test_create_backend_returns_fresh_instances():
+    assert create_backend("fetch") is not create_backend("fetch")
+
+
+def test_every_backend_advertises_its_contract():
+    for name in backend_names():
+        cls = backend_class(name)
+        assert issubclass(cls, ShuffleBackend)
+        assert cls.name == name
+        assert cls.scheme_label
+        assert cls.flow_tags
+
+
+# ---------------------------------------------------------------------------
+# Config resolution
+# ---------------------------------------------------------------------------
+def test_legacy_flags_resolve_to_backends():
+    assert ShuffleConfig().backend_name == "fetch"
+    assert (
+        ShuffleConfig(push_based=True, auto_aggregate=True).backend_name
+        == "push_aggregate"
+    )
+
+
+def test_explicit_backend_wins_over_legacy_flags():
+    config = ShuffleConfig(backend="pre_merge")
+    assert config.backend_name == "pre_merge"
+
+
+def test_shuffle_config_for_backend_keeps_legacy_flags_consistent():
+    push = shuffle_config_for_backend("push_aggregate")
+    assert push.push_based and push.auto_aggregate
+    fetch = shuffle_config_for_backend("fetch")
+    assert not fetch.push_based and not fetch.auto_aggregate
+
+
+def test_unknown_backend_rejected_at_validation():
+    config = SimulationConfig(shuffle=ShuffleConfig(backend="nope"))
+    with pytest.raises(ConfigurationError, match="nope"):
+        config.validate()
+
+
+def test_backend_config_builds_a_runnable_simulation_config():
+    config = backend_config("pre_merge")
+    config.validate()
+    assert config.shuffle.backend_name == "pre_merge"
+
+
+# ---------------------------------------------------------------------------
+# Scheme registry (satellite: no AGGSHUFFLE branching)
+# ---------------------------------------------------------------------------
+def test_scheme_registry_enumerates_registered_backends():
+    from repro.experiments.schemes import (
+        SCHEME_REGISTRY,
+        Scheme,
+        all_schemes,
+        scheme_spec,
+    )
+
+    labels = {backend_class(name).scheme_label for name in backend_names()}
+    covered = {spec.scheme.value for spec in SCHEME_REGISTRY.values()}
+    assert labels <= covered
+    assert all_schemes() == tuple(SCHEME_REGISTRY)
+    assert scheme_spec(Scheme.PREMERGE).backend == "pre_merge"
+    assert scheme_spec(Scheme.AGGSHUFFLE).backend == "push_aggregate"
+
+
+def test_paper_schemes_preserved_and_registry_driven():
+    from repro.experiments.schemes import (
+        PAPER_SCHEMES,
+        SCHEME_REGISTRY,
+        Scheme,
+    )
+
+    assert PAPER_SCHEMES == (
+        Scheme.SPARK, Scheme.CENTRALIZED, Scheme.AGGSHUFFLE
+    )
+    assert all(SCHEME_REGISTRY[s].paper for s in PAPER_SCHEMES)
+
+
+def test_preprocess_schemes_ride_on_the_fetch_backend():
+    from repro.experiments.schemes import Scheme, scheme_spec
+
+    for scheme in (Scheme.CENTRALIZED, Scheme.IRIDIUM):
+        spec = scheme_spec(scheme)
+        assert spec.backend == "fetch"
+        assert spec.preprocess is not None
+        assert spec.preprocess_stage_name
+
+
+def test_config_for_scheme_uses_registry_backend():
+    from repro.experiments.schemes import Scheme, config_for_scheme
+    from repro.workloads import WORDCOUNT
+
+    for scheme, backend in (
+        (Scheme.SPARK, "fetch"),
+        (Scheme.AGGSHUFFLE, "push_aggregate"),
+        (Scheme.PREMERGE, "pre_merge"),
+        (Scheme.CENTRALIZED, "fetch"),
+    ):
+        config = config_for_scheme(scheme, WORDCOUNT, seed=0)
+        assert config.shuffle.backend_name == backend
+
+
+def test_dag_scheduler_has_no_strategy_branches():
+    """Acceptance criterion: zero scheme-conditional branches left."""
+    from repro.scheduler import dag_scheduler
+
+    source = inspect.getsource(dag_scheduler)
+    for marker in ("auto_aggregate", "push_based", "AGGSHUFFLE", "Scheme"):
+        assert marker not in source
+
+
+# ---------------------------------------------------------------------------
+# Service wiring
+# ---------------------------------------------------------------------------
+def test_context_owns_a_service_matching_its_config():
+    context = make_context(push=False)
+    assert context.shuffle_service.backend_name == "fetch"
+    push = make_context(push=True)
+    assert push.shuffle_service.backend_name == "push_aggregate"
+
+
+def test_push_backend_prepare_job_inserts_transfers():
+    from repro.core.transfer_injection import count_inserted_transfers
+
+    context = make_context(push=True)
+    rdd = context.parallelize([("a", 1), ("b", 2)], 2).reduce_by_key(
+        lambda a, b: a + b, num_partitions=2
+    )
+    assert count_inserted_transfers(rdd) == 0
+    prepared = context.shuffle_service.prepare_job(rdd)
+    assert count_inserted_transfers(prepared) == 1
+
+
+def test_fetch_backend_prepare_job_is_identity():
+    from repro.core.transfer_injection import count_inserted_transfers
+
+    context = make_context(push=False)
+    rdd = context.parallelize([("a", 1), ("b", 2)], 2).reduce_by_key(
+        lambda a, b: a + b, num_partitions=2
+    )
+    prepared = context.shuffle_service.prepare_job(rdd)
+    assert prepared is rdd
+    assert count_inserted_transfers(prepared) == 0
+
+
+def _premerge_context():
+    return make_context(
+        spec=small_spec(
+            datacenters=("dc-a", "dc-b", "dc-c"), workers_per_datacenter=2
+        ),
+        backend="pre_merge",
+    )
+
+
+def test_premerge_consolidates_map_output_per_datacenter():
+    context = _premerge_context()
+    rdd = context.parallelize(
+        [(f"k{i}", 1) for i in range(60)], 6
+    ).reduce_by_key(lambda a, b: a + b)
+    rdd.collect()
+    counters = context.shuffle_service.counters
+    assert counters.merge_rounds > 0
+    assert counters.merge_fan_in > 0
+    # After merging, map outputs live on at most one host per DC, so a
+    # reducer opens at most one remote flow per source host.
+    assert counters.blocks_fetched <= counters.merge_rounds * (
+        len(context.topology.datacenters)
+    ) * rdd.num_partitions
+
+
+def test_premerge_fetches_fewer_blocks_than_fetch_backend():
+    def run(backend):
+        context = make_context(
+            spec=small_spec(
+                datacenters=("dc-a", "dc-b", "dc-c"),
+                workers_per_datacenter=2,
+            ),
+            backend=backend,
+        )
+        rdd = context.parallelize(
+            [(f"k{i}", i) for i in range(120)], 6
+        ).group_by_key()
+        result = rdd.collect()
+        return context.shuffle_service.counters, result
+
+    fetch_counters, fetch_result = run("fetch")
+    merge_counters, merge_result = run("pre_merge")
+    assert merge_counters.blocks_fetched < fetch_counters.blocks_fetched
+    # And the reduce outputs are identical, record for record.
+    assert merge_result == fetch_result
+
+
+def test_counters_flow_through_run_result():
+    from repro.experiments.runner import ExperimentPlan, run_workload_once
+    from repro.experiments.schemes import Scheme
+    from repro.workloads import WordCount, WORDCOUNT
+    from repro.workloads.text_gen import TextGenerator
+
+    workload = WordCount(
+        spec=dataclasses.replace(
+            WORDCOUNT, input_partitions=4, records_per_partition=2
+        ),
+        generator=TextGenerator(vocabulary_buckets=50, tokens_per_document=200),
+    )
+    plan = ExperimentPlan(
+        cluster=small_spec(
+            datacenters=("dc-a", "dc-b", "dc-c"), workers_per_datacenter=2
+        ),
+        seeds=(0,),
+    )
+    result = run_workload_once(workload, Scheme.PREMERGE, 0, plan)
+    assert result.backend == "pre_merge"
+    assert result.shuffle_perf["map_outputs_registered"] > 0
+    assert result.shuffle_perf["merge_rounds"] > 0
+    assert result.shuffle_perf["network_bytes"] > 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import EventAlreadyFiredError, SimulationError
+from repro.errors import EventAlreadyFiredError
 from repro.simulation import Simulator
 
 
