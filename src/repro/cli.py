@@ -47,15 +47,33 @@ def _scheme(name: str) -> Scheme:
     raise SystemExit(f"unknown scheme {name!r} (choose from: {choices})")
 
 
-def _plan(seeds: int) -> ExperimentPlan:
-    return ExperimentPlan(seeds=tuple(range(seeds)))
+def _plan(seeds: int, chaos_specs: Optional[List[str]] = None) -> ExperimentPlan:
+    base_config = None
+    if chaos_specs:
+        from repro.config import SimulationConfig
+        from repro.errors import ConfigurationError
+        from repro.failures.chaos import ChaosSchedule
+
+        try:
+            schedule = ChaosSchedule.from_specs(chaos_specs)
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
+        # Storage-losing events need a second input replica, or lineage
+        # recovery bottoms out at permanently lost input blocks.
+        replication = 1
+        if any(e.kind in ("host", "outage", "merger") for e in schedule.events):
+            replication = 2
+        base_config = SimulationConfig(
+            dfs_replication=replication
+        ).with_chaos(schedule)
+    return ExperimentPlan(seeds=tuple(range(seeds)), base_config=base_config)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     scheme = _scheme(args.scheme)
     result = run_workload_once(
-        workload, scheme, args.seed, _plan(1)
+        workload, scheme, args.seed, _plan(1, chaos_specs=args.chaos)
     )
     print(f"{workload.name} / {scheme.value} (seed {args.seed})")
     print(f"  shuffle backend : {result.backend}")
@@ -92,6 +110,37 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{shuffle['merge_rounds']:.0f} merge rounds "
             f"(mean fan-in {shuffle['mean_merge_fan_in']:.1f})"
         )
+    if result.injected_failures_total or result.straggler_hits:
+        print(
+            "  fault injection : "
+            f"{result.injected_failures_total} attempt failure(s) "
+            f"injected, {result.straggler_hits} straggler(s) hit"
+        )
+    if args.chaos:
+        print(
+            "  chaos           : "
+            f"{result.chaos_events_applied}/{len(args.chaos)} "
+            "event(s) applied"
+        )
+    recovery = result.recovery
+    if recovery and any(recovery.values()):
+        print(
+            "  recovery        : "
+            f"{recovery['tasks_relaunched']:.0f} relaunched, "
+            f"{recovery['fetch_failures']:.0f} fetch failure(s), "
+            f"{recovery['stages_resubmitted']:.0f} stage(s) resubmitted, "
+            f"{recovery['tasks_recomputed']:.0f} task(s) recomputed, "
+            f"speculative {recovery['speculative_wins']:.0f}W/"
+            f"{recovery['speculative_launched']:.0f}L"
+        )
+        rec_wan = result.shuffle_perf.get("recovery_wan_bytes", 0.0)
+        rec_intra = result.shuffle_perf.get("recovery_intra_dc_bytes", 0.0)
+        if rec_wan or rec_intra:
+            print(
+                "  recovery bytes  : "
+                f"{rec_wan / 1e6:.1f} MB WAN / "
+                f"{rec_intra / 1e6:.1f} MB intra-DC"
+            )
     return 0
 
 
@@ -206,6 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("workload")
     run.add_argument("--scheme", default="aggshuffle")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--chaos",
+        action="append",
+        metavar="SPEC",
+        help="timed fault to inject (repeatable): crash:<host>@<t>, "
+        "host:<host>@<t>, outage:<dc>@<t>, merger:<dc>@<t>, or "
+        "degrade:<src_dc>-><dst_dc>@<t>x<factor>[+<duration>] "
+        "(degrade competes with bandwidth jitter; see DESIGN.md §9)",
+    )
     run.set_defaults(func=cmd_run)
 
     compare = commands.add_parser(

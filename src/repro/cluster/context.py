@@ -19,8 +19,10 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.config import SimulationConfig
 from repro.cluster.builder import ClusterSpec, build_topology
 from repro.errors import ConfigurationError
+from repro.failures.chaos import ChaosInjector
 from repro.failures.injector import FailureInjector
 from repro.metrics.collectors import MetricsCollector
+from repro.metrics.perf import RecoveryCounters
 from repro.network.fabric import NetworkFabric
 from repro.network.jitter import BandwidthJitter
 from repro.network.traffic_monitor import TrafficMonitor
@@ -66,7 +68,9 @@ class ClusterContext:
 
         worker_names = spec.worker_names()
         self.dfs = DistributedFileSystem(
-            self.topology.all_host_names(), disk=self.config.disk
+            self.topology.all_host_names(),
+            replication=self.config.dfs_replication,
+            disk=self.config.disk,
         )
         self.estimator = SizeEstimator(scale_factor=self.config.scale_factor)
         self.cache = CacheManager()
@@ -79,6 +83,7 @@ class ClusterContext:
             self, create_backend(self.config.shuffle.backend_name)
         )
         self.metrics = MetricsCollector()
+        self.recovery = RecoveryCounters()
         self.failure_injector = FailureInjector(
             self.config.failures,
             self.randomness.child("failures"),
@@ -114,6 +119,14 @@ class ClusterContext:
             run_task=runner.run,
         )
         self.dag_scheduler = DAGScheduler(self)
+
+        # Timed infrastructure faults: the injector process fires the
+        # configured chaos schedule into this context as simulated time
+        # passes (executor crashes, host/DC losses, WAN degradation).
+        self.chaos_injector: Optional[ChaosInjector] = None
+        if self.config.chaos is not None and self.config.chaos:
+            self.chaos_injector = ChaosInjector(self, self.config.chaos)
+            self.chaos_injector.start()
 
         self._jitter: Optional[BandwidthJitter] = None
         self._gateway_jitter: Optional[BandwidthJitter] = None
@@ -222,23 +235,53 @@ class ClusterContext:
         return [handle.result() for handle in handles]
 
     # ------------------------------------------------------------------
-    # Host failure (between jobs)
+    # Fault injection (chaos events and manual failures)
     # ------------------------------------------------------------------
+    def crash_executor(self, host: str) -> int:
+        """Crash the executor *process* on ``host``, keeping its storage.
+
+        Models a Spark executor crash with the external shuffle service
+        enabled: the host's compute and transfer slots vanish and every
+        running attempt there is relaunched elsewhere, but shuffle
+        output, staged partitions, cache entries, and DFS replicas all
+        survive.  Safe mid-job.  Returns the number of relaunched
+        attempts.
+        """
+        if host not in self.executors:
+            raise ConfigurationError(f"unknown worker host {host!r}")
+        if len(self.executors) <= 1:
+            raise ConfigurationError(
+                f"cannot crash {host!r}: it is the last live executor"
+            )
+        relaunched = self.task_scheduler.remove_executor(host)
+        relaunched += self.transfer_scheduler.remove_executor(host)
+        self.recovery.executor_crashes += 1
+        self.recovery.tasks_relaunched += relaunched
+        return relaunched
+
     def fail_host(self, host: str) -> Dict[str, int]:
         """Take a worker host down, losing everything it stored.
 
         Removes the executor (and transfer-service slots), its shuffle
         output (the owning shuffles become incomplete, so dependent
-        stages recompute exactly the missing partitions on the next
-        job), staged transfer partitions, cached RDD partitions, and
-        DFS replicas.  Call between jobs; returns a summary of what was
-        lost.  Input blocks whose last replica lived here are gone for
-        good — reading them raises, like HDFS with dead datanodes.
+        reads raise FetchFailed and the DAG scheduler recomputes exactly
+        the missing partitions from lineage), staged transfer
+        partitions, cached RDD partitions, and DFS replicas.  Safe
+        mid-job: running attempts on the host are relaunched elsewhere.
+        Returns a summary of what was lost.  Input blocks whose last
+        replica lived here are gone for good — reading them raises,
+        like HDFS with dead datanodes.
         """
         if host not in self.executors:
             raise ConfigurationError(f"unknown worker host {host!r}")
-        del self.executors[host]
-        del self.transfer_executors[host]
+        if len(self.executors) <= 1:
+            raise ConfigurationError(
+                f"cannot fail {host!r}: it is the last live executor"
+            )
+        relaunched = self.task_scheduler.remove_executor(host)
+        relaunched += self.transfer_scheduler.remove_executor(host)
+        self.recovery.hosts_lost += 1
+        self.recovery.tasks_relaunched += relaunched
         lost_outputs = self.map_output_tracker.unregister_host(host)
         self.shuffle_store.remove_host(host)
         self.transfer_tracker.remove_host(host)

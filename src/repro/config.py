@@ -7,11 +7,14 @@ All tunables live here so experiments are declarative: a
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.errors import ConfigurationError
 from repro.network.jitter import JitterSpec
 from repro.storage.disk import DiskModel
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
+    from repro.failures.chaos import ChaosSchedule
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,24 @@ class SchedulingConfig:
     speculation_multiplier: float = 2.0
     speculation_quantile: float = 0.75
     speculation_interval: float = 5.0
+    # Lineage recovery (Spark's FetchFailed path): how many times one
+    # stage may be resubmitted when its output is lost (Spark's
+    # ``spark.stage.maxConsecutiveAttempts`` is 4), how long the first
+    # resubmission waits (doubling each time), and how many FetchFailed
+    # retries a single consumer task gets before the job fails.
+    max_stage_retries: int = 4
+    stage_retry_backoff: float = 0.2
+    max_fetch_failures_per_task: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_stage_retries < 1:
+            raise ConfigurationError("max_stage_retries must be >= 1")
+        if self.stage_retry_backoff < 0:
+            raise ConfigurationError("stage_retry_backoff must be >= 0")
+        if self.max_fetch_failures_per_task < 1:
+            raise ConfigurationError(
+                "max_fetch_failures_per_task must be >= 1"
+            )
 
 
 @dataclass(frozen=True)
@@ -89,6 +110,20 @@ class FailureConfig:
     # Fraction of the attempt's work completed before the failure hits.
     wasted_work_fraction: float = 0.5
     max_injected_failures_per_task: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reducer_failure_probability <= 1.0:
+            raise ConfigurationError(
+                "reducer_failure_probability must be in [0, 1]"
+            )
+        if not 0.0 <= self.wasted_work_fraction <= 1.0:
+            raise ConfigurationError(
+                "wasted_work_fraction must be in [0, 1]"
+            )
+        if self.max_injected_failures_per_task < 0:
+            raise ConfigurationError(
+                "max_injected_failures_per_task must be >= 0"
+            )
 
 
 @dataclass(frozen=True)
@@ -150,23 +185,39 @@ class SimulationConfig:
     failures: FailureConfig = field(default_factory=FailureConfig)
     shuffle: ShuffleConfig = field(default_factory=ShuffleConfig)
     jitter: Optional[JitterSpec] = field(default_factory=JitterSpec)
+    # Timed infrastructure faults (executor crashes, host/DC losses,
+    # WAN degradation) fired into the run by a ChaosInjector; None (or
+    # an empty schedule) injects nothing.  See repro.failures.chaos.
+    chaos: Optional["ChaosSchedule"] = None
     # Multiplier from natural record sizes to logical bytes.  The
     # bundled workloads attach explicit paper-scale sizes to their
     # records (via SizedRecord), so the default is 1.0; raise it to make
     # plain-record datasets stand for proportionally larger volumes.
     scale_factor: float = 1.0
+    # DFS replica count for input files.  1 matches the seed's behaviour
+    # (and keeps placement-sensitive results unchanged); chaos runs with
+    # host/outage/merger events want >= 2, or lineage recovery bottoms
+    # out at permanently lost input blocks.
+    dfs_replication: int = 1
 
     def validate(self) -> None:
         if self.cores_per_host < 1:
             raise ConfigurationError("cores_per_host must be >= 1")
         if self.scale_factor <= 0:
             raise ConfigurationError("scale_factor must be positive")
+        if self.dfs_replication < 1:
+            raise ConfigurationError("dfs_replication must be >= 1")
         self.shuffle.validate()
         if self.jitter is not None:
             self.jitter.validate()
+        if self.chaos is not None:
+            self.chaos.validate()
 
     def with_shuffle(self, shuffle: ShuffleConfig) -> "SimulationConfig":
         return replace(self, shuffle=shuffle)
+
+    def with_chaos(self, chaos: Optional["ChaosSchedule"]) -> "SimulationConfig":
+        return replace(self, chaos=chaos)
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         return replace(self, seed=seed)

@@ -85,12 +85,48 @@ class TaskFailedError(SchedulerError):
         super().__init__(message)
 
 
+class StageRecoveryError(SchedulerError):
+    """Raised when a stage exhausts its lineage-resubmission budget."""
+
+    def __init__(self, stage_name: str, resubmits: int) -> None:
+        self.stage_name = stage_name
+        self.resubmits = resubmits
+        super().__init__(
+            f"stage {stage_name} failed recovery after "
+            f"{resubmits - 1} resubmission(s)"
+        )
+
+
 class ShuffleError(ReproError):
     """Base class for shuffle-machinery errors."""
 
 
 class MapOutputMissingError(ShuffleError):
     """Raised when shuffle input for a reducer cannot be located."""
+
+
+class FetchFailedError(ShuffleError):
+    """A task found its boundary input gone (lost map output or staged
+    transfer partition).  Mirrors Spark's ``FetchFailedException``: the
+    DAG scheduler catches it, resubmits the producing parent stage from
+    lineage, and retries the consumer."""
+
+    def __init__(
+        self,
+        shuffle_id: int | None = None,
+        transfer_id: int | None = None,
+        detail: str = "",
+    ) -> None:
+        self.shuffle_id = shuffle_id
+        self.transfer_id = transfer_id
+        what = (
+            f"shuffle {shuffle_id}" if shuffle_id is not None
+            else f"transfer {transfer_id}"
+        )
+        message = f"fetch failed: {what} input missing"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
 
 
 class ConfigurationError(ReproError):

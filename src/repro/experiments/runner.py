@@ -70,6 +70,14 @@ class RunResult:
     # (blocks pushed, WAN vs. intra-DC bytes, merge fan-in, ...).
     backend: str = ""
     shuffle_perf: Dict[str, float] = field(default_factory=dict)
+    # Fault-injection surface: every injected per-attempt failure across
+    # the cell (not just the measured job), straggler-slowed attempts,
+    # chaos events that actually applied, and the recovery counters
+    # (relaunches, resubmissions, recomputed tasks, speculation).
+    injected_failures_total: int = 0
+    straggler_hits: int = 0
+    chaos_events_applied: int = 0
+    recovery: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -181,6 +189,14 @@ def run_workload_once(
         fabric_perf=context.fabric.perf_snapshot(),
         backend=context.shuffle_service.backend_name,
         shuffle_perf=context.shuffle_service.perf_snapshot(),
+        injected_failures_total=context.failure_injector.total_injected,
+        straggler_hits=context.failure_injector.stragglers_hit,
+        chaos_events_applied=(
+            context.chaos_injector.events_applied
+            if context.chaos_injector is not None
+            else 0
+        ),
+        recovery=context.recovery.as_dict(),
     )
 
 

@@ -1,6 +1,13 @@
-"""Failure and straggler injection (paper Fig. 2 / §II-B)."""
+"""Failure, straggler, and chaos injection (paper Fig. 2 / §II-B)."""
 
+from repro.failures.chaos import ChaosEvent, ChaosInjector, ChaosSchedule
 from repro.failures.injector import FailureInjector
 from repro.failures.stragglers import StragglerModel
 
-__all__ = ["FailureInjector", "StragglerModel"]
+__all__ = [
+    "ChaosEvent",
+    "ChaosInjector",
+    "ChaosSchedule",
+    "FailureInjector",
+    "StragglerModel",
+]

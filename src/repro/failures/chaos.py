@@ -1,0 +1,353 @@
+"""ChaosSchedule: deterministic, timed fault injection for the kernel.
+
+The ``repro.failures`` layer injects per-*attempt* reducer failures; a
+chaos schedule injects *infrastructure* faults — the events the paper's
+robustness argument (Fig. 2) is actually about — at fixed simulated
+times, so every backend can be subjected to the **identical** fault
+sequence:
+
+* ``crash``   — an executor process crashes: its slots disappear and
+  running attempts are relaunched elsewhere, but blocks stored on the
+  host survive (Spark with the external shuffle service enabled);
+* ``host``    — a whole worker host is lost: executor *and* storage
+  (shuffle output, staged partitions, cache, DFS replicas).  Consumers
+  hit FetchFailed and the DAG scheduler resubmits parents from lineage;
+* ``outage``  — every live worker of one datacenter is lost (``host``
+  applied DC-wide);
+* ``merger``  — the datacenter's *merger host* is lost: the host the
+  pre-merge backend consolidated onto (resolved at fire time via the
+  backend's ``merger_host`` hook); for backends without mergers it
+  falls back to the live host storing the most map-output bytes, so
+  the same schedule stays meaningful across backends;
+* ``degrade`` — one WAN link's capacity is multiplied by ``factor``;
+  with a ``duration`` the base capacity is restored afterwards (a
+  *flap* is a deep degrade with a short duration).  Note that
+  ``BandwidthJitter`` would overwrite chaos capacities at its next
+  resample — chaos benchmarks run with ``jitter=None``.
+
+Events are plain data (time, kind, target), validated up front, fired
+by a :class:`ChaosInjector` process the cluster context spawns at
+construction.  The schedule is finite, so ``Simulator.run()`` still
+terminates.  Compact CLI syntax (``--chaos crash:dc-a-w0@5``)::
+
+    crash:<host>@<t>            outage:<dc>@<t>
+    host:<host>@<t>             merger:<dc>@<t>
+    degrade:<src>-><dst>@<t>x<factor>[+<duration>]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.context import ClusterContext
+    from repro.network.topology import Link
+    from repro.simulation.random_source import RandomSource
+
+KINDS = ("crash", "host", "outage", "merger", "degrade")
+
+# Link capacities must stay positive; a "down" link is one at this floor.
+MIN_LINK_CAPACITY = 1.0
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One timed fault: fire ``kind`` against ``target`` at time ``at``."""
+
+    at: float
+    kind: str
+    target: str
+    # degrade only: capacity multiplier and optional restore delay.
+    factor: float = 0.1
+    duration: float = 0.0
+
+    def validate(self) -> None:
+        if self.kind not in KINDS:
+            known = ", ".join(KINDS)
+            raise ConfigurationError(
+                f"unknown chaos kind {self.kind!r} (one of: {known})"
+            )
+        if self.at < 0:
+            raise ConfigurationError("chaos event time must be >= 0")
+        if not self.target:
+            raise ConfigurationError("chaos event needs a target")
+        if self.kind == "degrade":
+            if not 0 < self.factor <= 1:
+                raise ConfigurationError(
+                    "degrade factor must be in (0, 1]"
+                )
+            if self.duration < 0:
+                raise ConfigurationError("degrade duration must be >= 0")
+            if "->" not in self.target:
+                raise ConfigurationError(
+                    "degrade target must be '<src_dc>-><dst_dc>'"
+                )
+
+    @property
+    def link_endpoints(self) -> Tuple[str, str]:
+        src, _, dst = self.target.partition("->")
+        return src, dst
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """An immutable, validated sequence of :class:`ChaosEvent`."""
+
+    events: Tuple[ChaosEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def validate(self) -> None:
+        for event in self.events:
+            event.validate()
+
+    def sorted_events(self) -> List[ChaosEvent]:
+        """Events in firing order; ties break by declaration order
+        (``sorted`` is stable)."""
+        return sorted(self.events, key=lambda event: event.at)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_event(spec: str) -> ChaosEvent:
+        """Parse one compact CLI spec (see module docstring)."""
+        kind, sep, rest = spec.partition(":")
+        if not sep:
+            raise ConfigurationError(
+                f"bad chaos spec {spec!r}: expected '<kind>:<target>@<t>'"
+            )
+        target, sep, when = rest.rpartition("@")
+        if not sep:
+            raise ConfigurationError(
+                f"bad chaos spec {spec!r}: missing '@<time>'"
+            )
+        factor, duration = 0.1, 0.0
+        if kind == "degrade" and "x" in when:
+            when, _, factor_part = when.partition("x")
+            if "+" in factor_part:
+                factor_part, _, duration_part = factor_part.partition("+")
+                duration = _parse_number(spec, duration_part)
+            factor = _parse_number(spec, factor_part)
+        event = ChaosEvent(
+            at=_parse_number(spec, when),
+            kind=kind,
+            target=target,
+            factor=factor,
+            duration=duration,
+        )
+        event.validate()
+        return event
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[str]) -> "ChaosSchedule":
+        return cls(tuple(cls.parse_event(spec) for spec in specs))
+
+    @classmethod
+    def random(
+        cls,
+        randomness: "RandomSource",
+        hosts: Sequence[str],
+        wan_pairs: Sequence[Tuple[str, str]] = (),
+        crashes: int = 1,
+        degradations: int = 0,
+        window: Tuple[float, float] = (1.0, 30.0),
+    ) -> "ChaosSchedule":
+        """A seeded random schedule over the given hosts/links.
+
+        Draws come from dedicated streams of ``randomness``, so the same
+        root seed always produces the same schedule — runs comparing
+        backends under "random" chaos stay paired.
+        """
+        if crashes > 0 and not hosts:
+            raise ConfigurationError("random chaos needs candidate hosts")
+        if degradations > 0 and not wan_pairs:
+            raise ConfigurationError("random chaos needs WAN pairs")
+        start, end = window
+        events: List[ChaosEvent] = []
+        for index in range(crashes):
+            events.append(ChaosEvent(
+                at=randomness.uniform(f"chaos:crash:{index}", start, end),
+                kind="crash",
+                target=randomness.choice(
+                    f"chaos:crash-host:{index}", sorted(hosts)
+                ),
+            ))
+        for index in range(degradations):
+            src, dst = randomness.choice(
+                f"chaos:degrade-link:{index}", sorted(wan_pairs)
+            )
+            events.append(ChaosEvent(
+                at=randomness.uniform(f"chaos:degrade:{index}", start, end),
+                kind="degrade",
+                target=f"{src}->{dst}",
+                factor=randomness.uniform(
+                    f"chaos:degrade-factor:{index}", 0.05, 0.5
+                ),
+                duration=randomness.uniform(
+                    f"chaos:degrade-duration:{index}", 1.0, 10.0
+                ),
+            ))
+        schedule = cls(tuple(events))
+        schedule.validate()
+        return schedule
+
+
+def _parse_number(spec: str, text: str) -> float:
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad chaos spec {spec!r}: {text!r} is not a number"
+        ) from None
+
+
+@dataclass
+class FiredEvent:
+    """Audit record of one applied (or skipped) chaos event."""
+
+    event: ChaosEvent
+    at: float
+    applied: bool
+    detail: str = ""
+
+
+class ChaosInjector:
+    """Fires a :class:`ChaosSchedule` into one cluster context.
+
+    Spawned by the context at construction; each event resolves its
+    target against *live* cluster state at fire time (a merger host is
+    whatever host the backend actually merged onto).  Events whose
+    target is already gone — or whose application would leave the
+    cluster unable to finish any job (last live executor) — are skipped
+    and recorded, never raised: chaos must not crash the experiment
+    harness itself.
+    """
+
+    def __init__(self, context: "ClusterContext", schedule: ChaosSchedule) -> None:
+        schedule.validate()
+        self.context = context
+        self.schedule = schedule
+        self.fired: List[FiredEvent] = []
+        self._process = None
+
+    # ------------------------------------------------------------------
+    @property
+    def events_applied(self) -> int:
+        return sum(1 for record in self.fired if record.applied)
+
+    def start(self) -> None:
+        if self._process is None and self.schedule:
+            self._process = self.context.sim.spawn(
+                self._run(), name="chaos:injector"
+            )
+
+    def _run(self):
+        sim = self.context.sim
+        for event in self.schedule.sorted_events():
+            if event.at > sim.now:
+                yield sim.timeout(event.at - sim.now)
+            self._fire(event)
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _fire(self, event: ChaosEvent) -> None:
+        handler = getattr(self, f"_apply_{event.kind}")
+        try:
+            detail = handler(event)
+        except ConfigurationError as error:
+            self.fired.append(
+                FiredEvent(event, self.context.sim.now, False, str(error))
+            )
+            return
+        self.fired.append(
+            FiredEvent(event, self.context.sim.now, True, detail)
+        )
+
+    def _apply_crash(self, event: ChaosEvent) -> str:
+        relaunched = self.context.crash_executor(event.target)
+        return f"relaunched {relaunched} attempt(s)"
+
+    def _apply_host(self, event: ChaosEvent) -> str:
+        report = self.context.fail_host(event.target)
+        return f"lost {report['map_outputs_lost']} map output(s)"
+
+    def _apply_outage(self, event: ChaosEvent) -> str:
+        context = self.context
+        doomed = [
+            host for host in context.topology.hosts_in(event.target)
+            if host in context.executors
+        ]
+        if not doomed:
+            raise ConfigurationError(
+                f"no live workers in datacenter {event.target!r}"
+            )
+        lost = 0
+        for host in doomed:
+            try:
+                context.fail_host(host)
+                lost += 1
+            except ConfigurationError:
+                break  # refused to take the last live executor
+        if lost == 0:
+            raise ConfigurationError(
+                f"outage of {event.target!r} would leave no executors"
+            )
+        context.recovery.datacenter_outages += 1
+        return f"took down {lost}/{len(doomed)} host(s)"
+
+    def _apply_merger(self, event: ChaosEvent) -> str:
+        context = self.context
+        merger = self._resolve_merger(event.target)
+        if merger is None:
+            raise ConfigurationError(
+                f"no merger candidate alive in {event.target!r}"
+            )
+        context.fail_host(merger)
+        context.recovery.merger_losses += 1
+        return f"lost merger host {merger}"
+
+    def _resolve_merger(self, datacenter: str) -> Optional[str]:
+        """The backend's merger for ``datacenter``; for backends without
+        mergers, the live host storing the most map-output bytes (tie →
+        lexicographically first), so the schedule ports across backends."""
+        context = self.context
+        merger = context.shuffle_service.merger_host(datacenter)
+        if merger is not None and merger in context.executors:
+            return merger
+        candidates = [
+            host for host in sorted(context.topology.hosts_in(datacenter))
+            if host in context.executors
+        ]
+        if not candidates:
+            return None
+        by_host = context.shuffle_store.bytes_by_host()
+        return min(
+            candidates, key=lambda host: (-by_host.get(host, 0.0), host)
+        )
+
+    def _apply_degrade(self, event: ChaosEvent) -> str:
+        context = self.context
+        src, dst = event.link_endpoints
+        link = context.topology.wan_link(src, dst)
+        degraded = max(link.base_capacity * event.factor, MIN_LINK_CAPACITY)
+        context.fabric.set_link_capacity(link, degraded)
+        context.recovery.wan_degradations += 1
+        if event.duration > 0:
+            context.sim.spawn(
+                self._restore_later(link, event.duration),
+                name=f"chaos:restore:{link.name}",
+            )
+        return f"{link.name} capacity -> {degraded:.0f} B/s"
+
+    def _restore_later(self, link: "Link", delay: float):
+        yield self.context.sim.timeout(delay)
+        self.context.fabric.set_link_capacity(link, link.base_capacity)

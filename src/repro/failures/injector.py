@@ -37,6 +37,9 @@ class FailureInjector:
         self.straggler_model = straggler_model
         self._injected: Dict[str, int] = {}
         self.total_injected = 0
+        # Attempts slowed down by the straggler model (surfaced in
+        # RunResult / the CLI run summary alongside total_injected).
+        self.stragglers_hit = 0
 
     def should_fail(self, task: "Task") -> bool:
         """Decide whether this attempt of ``task`` fails.
@@ -60,6 +63,9 @@ class FailureInjector:
         """CPU slowdown multiplier for this attempt (1.0 = healthy)."""
         if self.straggler_model is None:
             return 1.0
-        return self.straggler_model.slowdown(
+        slowdown = self.straggler_model.slowdown(
             self.randomness, task.task_id, task.attempts
         )
+        if slowdown > 1.0:
+            self.stragglers_hit += 1
+        return slowdown

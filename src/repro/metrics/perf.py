@@ -93,6 +93,11 @@ class ShuffleCounters:
       all merge rounds (``mean_merge_fan_in`` derives the average);
     * ``wan_bytes`` / ``intra_dc_bytes`` — network bytes moved by the
       backend, split by whether the flow crossed a datacenter boundary;
+    * ``recovery_wan_bytes`` / ``recovery_intra_dc_bytes`` — the subset
+      of the above moved by *recovery* work (retried attempts, tasks
+      relaunched after an executor loss, lineage-recomputed parents, and
+      pre-merge re-consolidation) — always <= the matching total, so
+      the counter/monitor equivalence invariant is unchanged;
     * ``local_bytes``             — shuffle input served from local disk
       (no network flow).
     """
@@ -106,6 +111,8 @@ class ShuffleCounters:
     merge_fan_in: int = 0
     wan_bytes: float = 0.0
     intra_dc_bytes: float = 0.0
+    recovery_wan_bytes: float = 0.0
+    recovery_intra_dc_bytes: float = 0.0
     local_bytes: float = 0.0
     # Network bytes attributable to one shuffle id (reduce fetches and
     # pre-merge consolidation; transfer_to flows are keyed by transfer,
@@ -127,12 +134,17 @@ class ShuffleCounters:
         dst_dc: str,
         size_bytes: float,
         shuffle_id: int | None = None,
+        recovery: bool = False,
     ) -> None:
         """Account one network flow issued by the backend."""
         if src_dc != dst_dc:
             self.wan_bytes += size_bytes
+            if recovery:
+                self.recovery_wan_bytes += size_bytes
         else:
             self.intra_dc_bytes += size_bytes
+            if recovery:
+                self.recovery_intra_dc_bytes += size_bytes
         if shuffle_id is not None:
             self.network_bytes_by_shuffle[shuffle_id] = (
                 self.network_bytes_by_shuffle.get(shuffle_id, 0.0) + size_bytes
@@ -162,5 +174,72 @@ class ShuffleCounters:
             f"(fan-in {self.mean_merge_fan_in:.1f}) "
             f"wan={self.wan_bytes / 1e6:.1f}MB "
             f"intra={self.intra_dc_bytes / 1e6:.1f}MB "
-            f"local={self.local_bytes / 1e6:.1f}MB"
+            f"local={self.local_bytes / 1e6:.1f}MB "
+            f"recovery={self.recovery_wan_bytes / 1e6:.1f}MB-wan/"
+            f"{self.recovery_intra_dc_bytes / 1e6:.1f}MB-intra"
+        )
+
+
+@dataclass
+class RecoveryCounters:
+    """What the fault-tolerance machinery did during one context's life.
+
+    Owned by :class:`repro.cluster.context.ClusterContext`
+    (``context.recovery``) and incremented by the chaos injector, the
+    task scheduler (executor-loss relaunches), and the DAG scheduler
+    (FetchFailed handling, lineage resubmission, speculation).  Recovery
+    *byte* totals live in :class:`ShuffleCounters`
+    (``recovery_wan_bytes`` / ``recovery_intra_dc_bytes``) because bytes
+    are moved, and therefore accounted, by the shuffle backend.
+
+    * ``executor_crashes``    — executor processes crashed (slots and
+      running attempts lost; stored blocks survive, as with Spark's
+      external shuffle service);
+    * ``hosts_lost``          — whole hosts taken down (storage too);
+    * ``datacenter_outages``  — datacenter-wide outage events fired;
+    * ``merger_losses``       — merger-host-loss events fired;
+    * ``wan_degradations``    — WAN-link capacity changes applied
+      (each flap counts its degrade and its restore);
+    * ``tasks_relaunched``    — running attempts interrupted by an
+      executor loss and resubmitted elsewhere;
+    * ``fetch_failures``      — task attempts that found boundary input
+      missing (Spark's FetchFailed);
+    * ``stages_resubmitted``  — parent-stage resubmissions from lineage;
+    * ``tasks_recomputed``    — parent partitions re-executed by those
+      resubmissions;
+    * ``speculative_launched`` / ``speculative_wins`` — duplicate
+      attempts launched for stragglers, and how many finished first.
+    """
+
+    executor_crashes: int = 0
+    hosts_lost: int = 0
+    datacenter_outages: int = 0
+    merger_losses: int = 0
+    wan_degradations: int = 0
+    tasks_relaunched: int = 0
+    fetch_failures: int = 0
+    stages_resubmitted: int = 0
+    tasks_recomputed: int = 0
+    speculative_launched: int = 0
+    speculative_wins: int = 0
+
+    @property
+    def any_activity(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    def format_summary(self) -> str:
+        """One-line human-readable summary for CLI / bench output."""
+        return (
+            f"crashes={self.executor_crashes} hosts_lost={self.hosts_lost} "
+            f"outages={self.datacenter_outages} "
+            f"merger_losses={self.merger_losses} "
+            f"wan_events={self.wan_degradations} "
+            f"relaunched={self.tasks_relaunched} "
+            f"fetch_failures={self.fetch_failures} "
+            f"stages_resubmitted={self.stages_resubmitted} "
+            f"recomputed={self.tasks_recomputed} "
+            f"speculative={self.speculative_wins}/{self.speculative_launched}"
         )

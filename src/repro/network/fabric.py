@@ -249,6 +249,17 @@ class NetworkFabric:
         else:
             self.perf.jitter_noops += 1
 
+    def set_link_capacity(self, link: Link, capacity: float) -> None:
+        """Set one link's capacity and re-solve its component.
+
+        The one-stop entry point for runtime capacity changes (chaos
+        WAN degradation/flaps, operational re-provisioning): mutates the
+        link and scopes the fair-share re-solve to it, exactly like a
+        jitter resample.
+        """
+        link.set_capacity(capacity)
+        self.notify_capacity_change(changed_links=(link,))
+
     def solver_inputs(self) -> Tuple[Dict[int, Tuple[str, ...]], Dict[str, float]]:
         """The global (routes, capacities) dicts describing the current
         active set — feed to :func:`max_min_fair_rates` to cross-check

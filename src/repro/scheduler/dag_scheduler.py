@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.aggregation import select_aggregator_datacenters
-from repro.errors import SchedulerError
+from repro.errors import FetchFailedError, SchedulerError, StageRecoveryError
 from repro.rdd.dependencies import (
     NarrowDependency,
     RangeDependency,
@@ -53,6 +53,12 @@ class DAGScheduler:
         self.metrics = metrics if metrics is not None else context.metrics
         self._stage_processes: Dict[int, object] = {}
         self._task_done_events: Dict[int, List[Event]] = {}
+        # Lineage recovery state (per job): in-flight parent-stage
+        # resubmissions (so concurrent FetchFailed consumers join one
+        # recovery instead of racing) and per-stage resubmit counts
+        # (bounded by SchedulingConfig.max_stage_retries).
+        self._active_recoveries: Dict[int, object] = {}
+        self._stage_resubmits: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Job entry point (a generator to be spawned on the simulator)
@@ -64,6 +70,8 @@ class DAGScheduler:
             result_stage.save_path = save_path  # type: ignore[attr-defined]
         # Per-job state: stage processes and per-task completion events.
         self._stage_processes = {}
+        self._active_recoveries = {}
+        self._stage_resubmits = {}
         self._task_done_events = {
             stage.stage_id: [
                 self.sim.event(name=f"stage{stage.stage_id}:task{p}")
@@ -181,29 +189,137 @@ class DAGScheduler:
                 for producer, index in required
             ]
             yield self.sim.all_of(gates)
-        task = Task(
-            stage,
-            partition,
-            preferred_hosts=self._preferred_hosts(stage, partition),
-            action=self._action if stage.kind is StageKind.RESULT else None,
+        result = yield from self._submit_with_recovery(
+            stage, partition, launch_times
         )
-        scheduler = self.context.task_scheduler
-        if stage.is_receiver_stage and task.preferred_hosts:
-            # Receivers queue for the aggregator datacenter rather than
-            # scatter: pushing elsewhere would defeat aggregation.  They
-            # run on the I/O-bound transfer service, not compute slots.
-            task.locality_wait_host = 0.5
-            task.locality_wait_datacenter = (
-                self.context.config.scheduling.receiver_datacenter_wait
-            )
-            scheduler = self.context.transfer_scheduler
-        if launch_times is not None:
-            launch_times[partition] = self.sim.now
-        result: TaskResult = yield scheduler.submit(task)
-        self.metrics.on_task_end(result)
         if not done.triggered:
             # A speculative duplicate may have won the race already.
             done.succeed(result)
+
+    # ------------------------------------------------------------------
+    # FetchFailed recovery (Spark's lineage-resubmission path)
+    # ------------------------------------------------------------------
+    def _submit_with_recovery(
+        self,
+        stage: Stage,
+        partition: int,
+        launch_times: Optional[Dict[int, float]] = None,
+        recovery: bool = False,
+    ):
+        """Submit one task; on FetchFailed, resubmit the lost parent
+        from lineage and retry with a fresh attempt.
+
+        Mirrors Spark's DAGScheduler: the consumer attempt dies, the
+        stage producing the missing output is resubmitted (only its
+        missing partitions re-run), and the consumer is retried.  The
+        retry loop is bounded by ``max_fetch_failures_per_task``;
+        resubmissions themselves are bounded per stage.
+        """
+        config = self.context.config.scheduling
+        fetch_failures = 0
+        while True:
+            task = Task(
+                stage,
+                partition,
+                preferred_hosts=self._preferred_hosts(stage, partition),
+                action=self._action if stage.kind is StageKind.RESULT else None,
+            )
+            task.recovery = recovery or fetch_failures > 0
+            scheduler = self.context.task_scheduler
+            if stage.is_receiver_stage and task.preferred_hosts:
+                # Receivers queue for the aggregator datacenter rather
+                # than scatter: pushing elsewhere would defeat
+                # aggregation.  They run on the I/O-bound transfer
+                # service, not compute slots.
+                task.locality_wait_host = 0.5
+                task.locality_wait_datacenter = (
+                    config.receiver_datacenter_wait
+                )
+                scheduler = self.context.transfer_scheduler
+            if launch_times is not None:
+                launch_times[partition] = self.sim.now
+            try:
+                result: TaskResult = yield scheduler.submit(task)
+            except FetchFailedError as failure:
+                fetch_failures += 1
+                self.context.recovery.fetch_failures += 1
+                if fetch_failures >= config.max_fetch_failures_per_task:
+                    raise
+                yield from self._recover_lost_parent(stage, failure)
+                continue
+            self.metrics.on_task_end(result)
+            return result
+
+    def _recover_lost_parent(self, stage: Stage, failure: FetchFailedError):
+        """Resubmit the parent stage whose boundary output went missing.
+
+        Concurrent consumers failing on the same parent join a single
+        in-flight resubmission instead of each spawning their own.
+        """
+        parent = self._parent_for_failure(stage, failure)
+        process = self._active_recoveries.get(parent.stage_id)
+        if process is None or process.triggered:
+            process = self.sim.spawn(
+                self._resubmit_stage(parent),
+                name=f"{parent.name}:resubmit",
+            )
+            self._active_recoveries[parent.stage_id] = process
+        yield process
+
+    def _parent_for_failure(
+        self, stage: Stage, failure: FetchFailedError
+    ) -> Stage:
+        for parent in stage.parents:
+            dep = parent.outgoing_dep
+            if (
+                isinstance(dep, ShuffleDependency)
+                and failure.shuffle_id == dep.shuffle_id
+            ):
+                return parent
+            if (
+                isinstance(dep, TransferDependency)
+                and failure.transfer_id == dep.transfer_id
+            ):
+                return parent
+        raise SchedulerError(
+            f"stage {stage.name}: no parent produces the input of {failure}"
+        )
+
+    def _resubmit_stage(self, stage: Stage):
+        """Re-run exactly the missing partitions of ``stage`` (a
+        simulation process; backoff doubles per consecutive resubmit)."""
+        context = self.context
+        config = context.config.scheduling
+        count = self._stage_resubmits.get(stage.stage_id, 0) + 1
+        self._stage_resubmits[stage.stage_id] = count
+        if count > config.max_stage_retries:
+            raise StageRecoveryError(stage.name, count)
+        context.recovery.stages_resubmitted += 1
+        if config.stage_retry_backoff > 0:
+            yield self.sim.timeout(
+                config.stage_retry_backoff * 2 ** (count - 1)
+            )
+        missing = [
+            partition
+            for partition in range(stage.num_partitions)
+            if not self._partition_output_exists(stage, partition)
+        ]
+        context.recovery.tasks_recomputed += len(missing)
+        if missing:
+            runs = [
+                self.sim.spawn(
+                    self._submit_with_recovery(stage, partition, recovery=True),
+                    name=f"{stage.name}[{partition}]:recompute",
+                )
+                for partition in missing
+            ]
+            yield self.sim.all_of(runs)
+        # Backend repair hook: the pre-merge backend re-consolidates the
+        # recovered outputs onto a surviving merger host before any
+        # consumer retries its read.
+        dep = stage.outgoing_dep
+        if isinstance(dep, ShuffleDependency):
+            yield from context.shuffle_service.on_blocks_lost(dep)
 
     # ------------------------------------------------------------------
     # Speculative execution (spark.speculation)
@@ -244,6 +360,7 @@ class DAGScheduler:
                 if self.sim.now - started < threshold:
                     continue
                 speculated.add(partition)
+                self.context.recovery.speculative_launched += 1
                 self.sim.spawn(
                     self._speculative_copy(stage, partition, event),
                     name=f"{stage.name}[{partition}]:speculative",
@@ -259,12 +376,17 @@ class DAGScheduler:
         )
         try:
             result: TaskResult = yield self.context.task_scheduler.submit(task)
+        except FetchFailedError:
+            # The duplicate raced a block loss; abandon it quietly — the
+            # original attempt drives recovery through its own retry.
+            return
         except BaseException as error:  # noqa: BLE001
             if not done.triggered:
                 done.fail(error)
             return
         self.metrics.on_task_end(result)
         if not done.triggered:
+            self.context.recovery.speculative_wins += 1
             done.succeed(result)
 
     def _partition_output_exists(self, stage: Stage, partition: int) -> bool:

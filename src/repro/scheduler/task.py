@@ -30,6 +30,11 @@ class Task:
         self.action = action
         self.submit_time: float = 0.0
         self.attempts = 0
+        # True once this task is recovery work: a retry after an
+        # injected failure or FetchFailed, a relaunch after an executor
+        # loss, or a lineage-resubmitted parent partition.  The shuffle
+        # backends tag this task's flows as recovery bytes.
+        self.recovery = False
         # Optional per-task delay-scheduling overrides.  Receiver tasks
         # use a very long datacenter wait so they stay in the aggregator
         # datacenter even when its slots are momentarily busy.

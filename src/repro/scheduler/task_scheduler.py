@@ -63,6 +63,18 @@ class _PendingEntry:
         self.sequence = sequence
 
 
+class _RunningRecord:
+    """One launched attempt: enough state to relaunch it on executor loss."""
+
+    __slots__ = ("entry", "host", "process", "lost")
+
+    def __init__(self, entry: _PendingEntry, host: str) -> None:
+        self.entry = entry
+        self.host = host
+        self.process = None
+        self.lost = False
+
+
 class TaskScheduler:
     """Places tasks on executors and runs them via a caller-supplied body."""
 
@@ -82,6 +94,9 @@ class TaskScheduler:
         self.config = config
         self.run_task = run_task
         self._pending: List[_PendingEntry] = []
+        # Launched-but-unfinished attempts, in launch order (a list, not
+        # a set: executor removal iterates it and must be deterministic).
+        self._running: List[_RunningRecord] = []
         self._sequence = itertools.count()
         self._wake_planned_at: Optional[float] = None
 
@@ -102,8 +117,40 @@ class TaskScheduler:
     def pending_count(self) -> int:
         return len(self._pending)
 
+    @property
+    def running_count(self) -> int:
+        return len(self._running)
+
     def total_free_slots(self) -> int:
         return sum(executor.free for executor in self.executors.values())
+
+    def remove_executor(self, host: str) -> int:
+        """Take one executor out of service (executor crash / host loss).
+
+        Attempts currently running on it are interrupted and silently
+        requeued — the waiter's completion event stays pending, exactly
+        as Spark's driver relaunches tasks of a lost executor without
+        failing the stage.  Returns the number of relaunched attempts.
+        Removing the last executor is refused: no slot could ever run
+        the relaunched work, so the simulation would deadlock.
+        """
+        if host not in self.executors:
+            return 0
+        if len(self.executors) == 1:
+            raise SchedulerError(
+                f"cannot remove {host!r}: it is the last executor"
+            )
+        del self.executors[host]
+        relaunched = 0
+        for record in list(self._running):
+            if record.host == host and not record.lost:
+                record.lost = True
+                relaunched += 1
+                record.process.interrupt(f"executor {host} lost")
+        # Pending tasks that preferred the dead host re-dispatch on the
+        # survivors (their locality waits keep ticking unchanged).
+        self._dispatch()
+        return relaunched
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -183,21 +230,38 @@ class TaskScheduler:
         executor = self.executors[host]
         executor.busy += 1
         executor.tasks_run += 1
-        self.sim.spawn(
-            self._run_wrapper(entry, host),
+        record = _RunningRecord(entry, host)
+        self._running.append(record)
+        record.process = self.sim.spawn(
+            self._run_wrapper(record),
             name=f"{entry.task.task_id}@{host}",
         )
 
-    def _run_wrapper(self, entry: _PendingEntry, host: str):
-        executor = self.executors[host]
-        try:
-            result = yield from self.run_task(entry.task, host)
-        except BaseException as error:  # noqa: BLE001 - propagate to waiter
+    def _finish_attempt(self, record: _RunningRecord) -> None:
+        self._running.remove(record)
+        executor = self.executors.get(record.host)
+        if executor is not None:
             executor.busy -= 1
+
+    def _run_wrapper(self, record: _RunningRecord):
+        entry = record.entry
+        try:
+            result = yield from self.run_task(entry.task, record.host)
+        except BaseException as error:  # noqa: BLE001 - propagate to waiter
+            self._finish_attempt(record)
+            if record.lost:
+                # The executor died under this attempt: requeue rather
+                # than fail, the completion's waiter never notices.
+                entry.task.recovery = True
+                entry.task.submit_time = self.sim.now
+                entry.sequence = next(self._sequence)
+                self._pending.append(entry)
+                self._dispatch()
+                return
             self._dispatch()
             entry.completion.fail(error)
             return
-        executor.busy -= 1
+        self._finish_attempt(record)
         self._dispatch()
         entry.completion.succeed(result)
 

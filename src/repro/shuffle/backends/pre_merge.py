@@ -44,14 +44,48 @@ class PreMergeBackend(ShuffleBackend):
         # Shuffles whose outputs were already consolidated; a shuffle is
         # merged at most once (iterative jobs reuse the merged layout).
         self._merged: Set[int] = set()
+        # Most recent merger host per datacenter — the single point of
+        # failure chaos "merger" events target.
+        self._mergers: Dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Pre-reduce consolidation
     # ------------------------------------------------------------------
     def prepare_shuffle_input(self, dep: "ShuffleDependency"):
-        shuffle_id = dep.shuffle_id
-        if shuffle_id in self._merged:
+        if dep.shuffle_id in self._merged:
             return
+        yield from self._consolidate(dep, recovery=False)
+
+    def _choose_merger(
+        self, datacenter: str, per_host: Dict[str, float]
+    ) -> str | None:
+        """The live host with the most of this shuffle's bytes.
+
+        Candidates are sorted before picking, so the choice depends only
+        on the byte distribution — never on dict/host-set iteration
+        order — and stays reproducible across seeds when hosts have
+        been removed mid-run.  Falls back to any live host of the
+        datacenter when every data-holding host is gone; None when the
+        datacenter has no live executor at all (leave data scattered).
+        """
+        executors = self.context.executors
+        candidates = sorted(
+            host for host in per_host if host in executors
+        )
+        if not candidates:
+            candidates = sorted(
+                host
+                for host in self.context.topology.hosts_in(datacenter)
+                if host in executors
+            )
+        if not candidates:
+            return None
+        return min(
+            candidates, key=lambda host: (-per_host.get(host, 0.0), host)
+        )
+
+    def _consolidate(self, dep: "ShuffleDependency", recovery: bool):
+        shuffle_id = dep.shuffle_id
         self._merged.add(shuffle_id)
         context = self.context
         topology = context.topology
@@ -72,11 +106,16 @@ class PreMergeBackend(ShuffleBackend):
                 per_host[status.host] = (
                     per_host.get(status.host, 0.0) + status.total_size
                 )
-            if len(per_host) < 2:
+            if len(per_host) < 2 and not (
+                recovery and len(per_host) == 1
+            ):
                 continue  # already co-located (or a single map)
-            # Merger = the host with the most of this shuffle's bytes;
-            # ties break lexicographically for determinism.
-            merger = min(per_host, key=lambda host: (-per_host[host], host))
+            merger = self._choose_merger(datacenter, per_host)
+            if merger is None:
+                continue
+            self._mergers[datacenter] = merger
+            if all(status.host == merger for status in group):
+                continue  # recovery found everything already in place
             self.counters.merge_rounds += 1
             self.counters.merge_fan_in += len(group)
             for status in group:
@@ -93,6 +132,7 @@ class PreMergeBackend(ShuffleBackend):
                     self._account_flow(
                         status.host, merger, status.total_size,
                         shuffle_id=shuffle_id,
+                        recovery=recovery,
                     )
         if flows:
             yield context.sim.all_of(flows)
@@ -152,7 +192,8 @@ class PreMergeBackend(ShuffleBackend):
             runtime.shuffle_bytes_fetched += size
             self.counters.blocks_fetched += 1
             self._account_flow(
-                source, runtime.host, size, shuffle_id=dep.shuffle_id
+                source, runtime.host, size, shuffle_id=dep.shuffle_id,
+                recovery=runtime.task.recovery,
             )
         if local_bytes > 0:
             yield context.sim.timeout(
@@ -176,3 +217,17 @@ class PreMergeBackend(ShuffleBackend):
         the recovered outputs are consolidated again before the next
         consuming stage."""
         self._merged.clear()
+        for datacenter, merger in list(self._mergers.items()):
+            if merger == host:
+                del self._mergers[datacenter]
+
+    def on_blocks_lost(self, dep: "ShuffleDependency"):
+        """Mid-job recovery: the lost partitions were just recomputed at
+        scattered hosts — consolidate them onto a *surviving* merger
+        before any reducer retries, so recovered reads stay coalesced.
+        The merge flows are tagged as recovery traffic."""
+        self._merged.discard(dep.shuffle_id)
+        yield from self._consolidate(dep, recovery=True)
+
+    def merger_host(self, datacenter: str) -> str | None:
+        return self._mergers.get(datacenter)

@@ -30,8 +30,9 @@ existing :class:`~repro.shuffle.map_output_tracker.MapOutputTracker`,
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.errors import FetchFailedError
 from repro.metrics.perf import ShuffleCounters
 from repro.shuffle.map_output_tracker import MapStatus
 from repro.shuffle.stores import ShuffleShard
@@ -120,6 +121,24 @@ class ShuffleBackend:
     def on_host_failure(self, host: str) -> None:
         """Invalidate backend state referring to ``host`` (no-op here)."""
 
+    def on_blocks_lost(self, dep: "ShuffleDependency"):
+        """Simulation process run by the DAG scheduler after the lost
+        partitions of ``dep``'s producing stage were recomputed, before
+        any consumer retries its read.
+
+        The base path needs no repair — fetch simply re-fetches the
+        recovered outputs (over WAN when they are remote, Fig. 2a), and
+        push recovers through its receiver stage.  The pre-merge backend
+        re-consolidates here.
+        """
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def merger_host(self, datacenter: str) -> Optional[str]:
+        """The host this backend consolidated ``datacenter``'s map
+        output onto, if it has such a notion (chaos targeting hook)."""
+        return None
+
     # ------------------------------------------------------------------
     # Pre-reduce reorganisation
     # ------------------------------------------------------------------
@@ -172,6 +191,7 @@ class ShuffleBackend:
                 self._account_flow(
                     status.host, runtime.host, shard.size_bytes,
                     shuffle_id=dep.shuffle_id,
+                    recovery=runtime.task.recovery,
                 )
         if local_bytes > 0:
             yield context.sim.timeout(
@@ -205,20 +225,37 @@ class ShuffleBackend:
     ):
         """Pull a staged partition from its origin (receiver task);
         a no-op when the partition is already local."""
-        staged = self.context.transfer_tracker.get(dep.transfer_id, index)
+        staged = self.context.transfer_tracker.try_get(dep.transfer_id, index)
+        if staged is None:
+            # The staged partition was lost with its host: FetchFailed,
+            # so the DAG scheduler resubmits the producer from lineage.
+            raise FetchFailedError(transfer_id=dep.transfer_id)
         if staged.host != runtime.host and staged.size_bytes > 0:
-            yield self.context.fabric.transfer(
+            flow = self.context.fabric.transfer(
                 staged.host, runtime.host, staged.size_bytes, tag="transfer_to"
             )
+            # Account at flow creation, not completion: if this attempt
+            # is interrupted (executor crash) the fabric still carries
+            # the flow to completion, and the counters must agree with
+            # the traffic monitor byte-for-byte.
             runtime.bytes_transferred_in += staged.size_bytes
-            self._account_flow(staged.host, runtime.host, staged.size_bytes)
+            self._account_flow(
+                staged.host, runtime.host, staged.size_bytes,
+                recovery=runtime.task.recovery,
+            )
+            yield flow
         return list(staged.records)
 
     # ------------------------------------------------------------------
     # Accounting helper
     # ------------------------------------------------------------------
     def _account_flow(
-        self, src: str, dst: str, size_bytes: float, shuffle_id: int | None = None
+        self,
+        src: str,
+        dst: str,
+        size_bytes: float,
+        shuffle_id: int | None = None,
+        recovery: bool = False,
     ) -> None:
         topology = self.context.topology
         self.counters.note_flow(
@@ -226,6 +263,7 @@ class ShuffleBackend:
             topology.datacenter_of(dst),
             size_bytes,
             shuffle_id=shuffle_id,
+            recovery=recovery,
         )
 
 
@@ -282,6 +320,13 @@ class ShuffleService:
     def shuffle_read(
         self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
     ):
+        # Spark's FetchFailed check: a reducer must see *every* map
+        # output.  After a host loss the tracker silently drops the lost
+        # entries, so an incomplete read here means blocks are gone —
+        # fail fast and let the DAG scheduler recover from lineage
+        # instead of returning silently truncated input.
+        if not self.context.map_output_tracker.is_complete(dep.shuffle_id):
+            raise FetchFailedError(shuffle_id=dep.shuffle_id)
         records = yield from self.backend.shuffle_read(
             runtime, dep, reduce_index
         )
@@ -310,6 +355,12 @@ class ShuffleService:
 
     def on_host_failure(self, host: str) -> None:
         self.backend.on_host_failure(host)
+
+    def on_blocks_lost(self, dep: "ShuffleDependency"):
+        yield from self.backend.on_blocks_lost(dep)
+
+    def merger_host(self, datacenter: str) -> Optional[str]:
+        return self.backend.merger_host(datacenter)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -65,6 +65,20 @@ class ShuffleStore:
             )
         return self._hosts[key]
 
+    def bytes_by_host(self) -> Dict[str, float]:
+        """Total stored shuffle bytes per host.
+
+        Used by chaos targeting: on backends without mergers, the
+        data-heaviest live host stands in for a "merger" so the same
+        chaos schedule stays meaningful across backends.
+        """
+        totals: Dict[str, float] = {}
+        for (shuffle_id, map_index, _reduce), shard in self._shards.items():
+            host = self._hosts.get((shuffle_id, map_index))
+            if host is not None:
+                totals[host] = totals.get(host, 0.0) + shard.size_bytes
+        return totals
+
     def remove_host(self, host: str) -> None:
         """Drop all shards written by ``host`` (host failure)."""
         doomed = {

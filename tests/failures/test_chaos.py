@@ -1,0 +1,206 @@
+"""ChaosSchedule parsing/validation and ChaosInjector event application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.failures import ChaosEvent, ChaosSchedule
+from repro.simulation import RandomSource
+from tests.conftest import make_context, small_spec
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+def test_parse_crash_spec():
+    event = ChaosSchedule.parse_event("crash:dc-a-w0@5")
+    assert event == ChaosEvent(at=5.0, kind="crash", target="dc-a-w0")
+
+
+def test_parse_host_outage_merger_specs():
+    assert ChaosSchedule.parse_event("host:dc-b-w1@2.5").kind == "host"
+    assert ChaosSchedule.parse_event("outage:dc-b@10").target == "dc-b"
+    assert ChaosSchedule.parse_event("merger:dc-a@1").kind == "merger"
+
+
+def test_parse_degrade_with_factor_and_duration():
+    event = ChaosSchedule.parse_event("degrade:dc-a->dc-b@3x0.25+7")
+    assert event.at == 3.0
+    assert event.factor == 0.25
+    assert event.duration == 7.0
+    assert event.link_endpoints == ("dc-a", "dc-b")
+
+
+def test_parse_degrade_factor_only_defaults_duration():
+    event = ChaosSchedule.parse_event("degrade:dc-a->dc-b@3x0.5")
+    assert event.factor == 0.5
+    assert event.duration == 0.0
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "crash-no-colon",
+        "crash:dc-a-w0",  # missing @time
+        "crash:dc-a-w0@soon",  # time not a number
+        "warp:dc-a-w0@5",  # unknown kind
+        "crash:@5",  # empty target
+        "degrade:dc-a@5",  # degrade needs src->dst
+        "degrade:dc-a->dc-b@5x0",  # factor out of (0, 1]
+        "degrade:dc-a->dc-b@5x2",
+        "crash:dc-a-w0@-1",  # negative time
+    ],
+)
+def test_bad_specs_raise(spec):
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule.parse_event(spec)
+
+
+def test_from_specs_builds_validated_schedule():
+    schedule = ChaosSchedule.from_specs(
+        ["crash:dc-a-w0@5", "degrade:dc-a->dc-b@1x0.5"]
+    )
+    assert len(schedule.events) == 2
+    assert bool(schedule)
+    assert not bool(ChaosSchedule())
+
+
+def test_sorted_events_orders_by_time_stably():
+    first = ChaosEvent(at=5.0, kind="crash", target="a")
+    second = ChaosEvent(at=5.0, kind="crash", target="b")
+    early = ChaosEvent(at=1.0, kind="crash", target="c")
+    schedule = ChaosSchedule((first, second, early))
+    assert schedule.sorted_events() == [early, first, second]
+
+
+def test_random_schedule_is_seed_deterministic():
+    hosts = ["h0", "h1", "h2"]
+    pairs = [("dc-a", "dc-b")]
+
+    def build(seed):
+        return ChaosSchedule.random(
+            RandomSource(seed), hosts, pairs, crashes=2, degradations=1
+        )
+
+    assert build(7) == build(7)
+    assert build(7) != build(8)
+    for event in build(7).events:
+        assert 1.0 <= event.at <= 30.0
+
+
+def test_random_schedule_needs_candidates():
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule.random(RandomSource(0), [], crashes=1)
+    with pytest.raises(ConfigurationError):
+        ChaosSchedule.random(RandomSource(0), ["h0"], degradations=1)
+
+
+# ---------------------------------------------------------------------------
+# Injector application
+# ---------------------------------------------------------------------------
+def _chaos_context(*events, **overrides):
+    return make_context(chaos=ChaosSchedule(tuple(events)), **overrides)
+
+
+def test_crash_event_removes_executor_but_keeps_storage():
+    context = _chaos_context(ChaosEvent(at=1.0, kind="crash", target="dc-a-w0"))
+    context.shuffle_store.put_map_output(0, 0, "dc-a-w0", [])
+    context.sim.run(until=2.0)
+    assert "dc-a-w0" not in context.executors
+    assert context.shuffle_store.host_of(0, 0) == "dc-a-w0"
+    assert context.recovery.executor_crashes == 1
+    assert context.chaos_injector.events_applied == 1
+
+
+def test_host_event_removes_executor_and_storage():
+    context = _chaos_context(ChaosEvent(at=1.0, kind="host", target="dc-a-w0"))
+    context.shuffle_store.put_map_output(0, 0, "dc-a-w0", [])
+    context.sim.run(until=2.0)
+    assert "dc-a-w0" not in context.executors
+    with pytest.raises(Exception):
+        context.shuffle_store.host_of(0, 0)
+    assert context.recovery.hosts_lost == 1
+
+
+def test_unknown_target_is_skipped_not_raised():
+    context = _chaos_context(ChaosEvent(at=1.0, kind="crash", target="nope"))
+    context.sim.run(until=2.0)
+    assert context.chaos_injector.events_applied == 0
+    record = context.chaos_injector.fired[0]
+    assert not record.applied
+    assert "unknown worker host" in record.detail
+
+
+def test_last_executor_is_never_taken():
+    events = [
+        ChaosEvent(at=1.0, kind="crash", target=host)
+        for host in ("dc-a-w0", "dc-a-w1", "dc-b-w0", "dc-b-w1")
+    ]
+    context = _chaos_context(*events)
+    context.sim.run(until=2.0)
+    assert len(context.executors) == 1
+    assert context.chaos_injector.events_applied == 3
+    assert not context.chaos_injector.fired[-1].applied
+
+
+def test_outage_takes_down_whole_datacenter():
+    context = _chaos_context(ChaosEvent(at=1.0, kind="outage", target="dc-b"))
+    context.sim.run(until=2.0)
+    assert context.live_workers == ["dc-a-w0", "dc-a-w1"]
+    assert context.recovery.datacenter_outages == 1
+    assert context.recovery.hosts_lost == 2
+
+
+def test_merger_event_falls_back_to_data_heaviest_host():
+    from repro.shuffle.stores import ShuffleShard
+
+    context = _chaos_context(ChaosEvent(at=1.0, kind="merger", target="dc-b"))
+    context.shuffle_store.put_map_output(
+        0, 0, "dc-b-w1", [ShuffleShard(records=[1], size_bytes=100.0)]
+    )
+    context.sim.run(until=2.0)
+    assert "dc-b-w1" not in context.executors
+    assert "dc-b-w0" in context.executors
+    assert context.recovery.merger_losses == 1
+
+
+def test_degrade_scales_link_and_restores_after_duration():
+    context = _chaos_context(
+        ChaosEvent(
+            at=1.0, kind="degrade", target="dc-a->dc-b",
+            factor=0.1, duration=5.0,
+        )
+    )
+    link = context.topology.wan_link("dc-a", "dc-b")
+    base = link.base_capacity
+    context.sim.run(until=2.0)
+    assert link.capacity == pytest.approx(base * 0.1)
+    assert context.recovery.wan_degradations == 1
+    context.sim.run(until=7.0)
+    assert link.capacity == pytest.approx(base)
+
+
+def test_crash_relaunches_running_attempts():
+    """A crash mid-job relaunches the victim's attempts elsewhere and the
+    job still produces the correct result."""
+    context = _chaos_context(
+        ChaosEvent(at=0.5, kind="crash", target="dc-a-w0"),
+        spec=small_spec(),
+        # Inflate logical bytes so the job runs for simulated seconds and
+        # the crash lands while attempts are in flight.
+        scale_factor=1e5,
+    )
+    records = [(f"k{i % 7}", i) for i in range(40)]
+    context.write_input_file("/in", [records[i::4] for i in range(4)])
+    result = dict(
+        context.text_file("/in")
+        .reduce_by_key(lambda a, b: a + b, num_partitions=8)
+        .collect()
+    )
+    expected: dict = {}
+    for key, value in records:
+        expected[key] = expected.get(key, 0) + value
+    assert result == expected
+    assert context.recovery.executor_crashes == 1
+    context.shutdown()

@@ -17,6 +17,33 @@ class _FakeTask:
         self.attempts = attempts
 
 
+def test_failure_config_validates_at_construction():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        FailureConfig(reducer_failure_probability=1.5)
+    with pytest.raises(ConfigurationError):
+        FailureConfig(reducer_failure_probability=-0.1)
+    with pytest.raises(ConfigurationError):
+        FailureConfig(wasted_work_fraction=2.0)
+    with pytest.raises(ConfigurationError):
+        FailureConfig(wasted_work_fraction=-0.5)
+    with pytest.raises(ConfigurationError):
+        FailureConfig(max_injected_failures_per_task=-1)
+    # Boundary values are legal.
+    FailureConfig(reducer_failure_probability=1.0, wasted_work_fraction=0.0)
+
+
+def test_straggler_hits_are_counted():
+    model = StragglerModel(probability=1.0, min_slowdown=2.0, max_slowdown=4.0)
+    injector = FailureInjector(
+        FailureConfig(), RandomSource(0), straggler_model=model
+    )
+    for i in range(5):
+        injector.straggler_slowdown(_FakeTask(f"t{i}"))
+    assert injector.stragglers_hit == 5
+
+
 def test_zero_probability_never_fails():
     injector = FailureInjector(FailureConfig(), RandomSource(0))
     assert not any(injector.should_fail(_FakeTask()) for _ in range(100))
