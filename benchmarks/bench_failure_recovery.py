@@ -172,6 +172,7 @@ def _run_scenarios() -> Dict:
             "recovery_wan_mb": context.shuffle_service.counters.recovery_wan_bytes / 1e6,
             "recovery_intra_mb": context.shuffle_service.counters.recovery_intra_dc_bytes / 1e6,
             "relaunched": context.recovery.tasks_relaunched,
+            "resubmitted": context.recovery.stages_resubmitted,
         }
     assert crash_rows["fetch"]["recovery_wan_mb"] > 0
     assert crash_rows["push_aggregate"]["recovery_wan_mb"] == 0
@@ -214,6 +215,7 @@ def _run_scenarios() -> Dict:
         degrade_rows[backend] = {
             "clean_jct": cleans[backend].metrics.job.duration,
             "chaos_jct": context.metrics.job.duration,
+            "resubmitted": context.recovery.stages_resubmitted,
         }
 
     return {
@@ -234,14 +236,15 @@ def _render(data: Dict) -> List[str]:
         f"Scenario A — executor crash {event.target}@{event.at:.1f}s "
         "(mid-reduce, storage survives)",
         f"{'backend':<16}{'clean JCT':>11}{'chaos JCT':>11}"
-        f"{'rec WAN MB':>12}{'rec intra MB':>14}{'relaunched':>12}",
+        f"{'rec WAN MB':>12}{'rec intra MB':>14}{'relaunched':>12}"
+        f"{'resubmitted':>13}",
     ]
     for backend in BACKENDS:
         row = crash[backend]
         lines.append(
             f"{backend:<16}{row['clean_jct']:>11.1f}{row['chaos_jct']:>11.1f}"
             f"{row['recovery_wan_mb']:>12.1f}{row['recovery_intra_mb']:>14.1f}"
-            f"{row['relaunched']:>12d}"
+            f"{row['relaunched']:>12d}{row['resubmitted']:>13d}"
         )
     merger = data["merger"]
     lines += [
@@ -253,12 +256,13 @@ def _render(data: Dict) -> List[str]:
         "output byte-identical",
         "",
         "Scenario C — WAN degrade dc-a->dc-b x0.1 (output unchanged)",
-        f"{'backend':<16}{'clean JCT':>11}{'chaos JCT':>11}",
+        f"{'backend':<16}{'clean JCT':>11}{'chaos JCT':>11}{'resubmitted':>13}",
     ]
     for backend in BACKENDS:
         row = data["degrade"][backend]
         lines.append(
             f"{backend:<16}{row['clean_jct']:>11.1f}{row['chaos_jct']:>11.1f}"
+            f"{row['resubmitted']:>13d}"
         )
     return lines
 

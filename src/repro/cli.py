@@ -47,33 +47,56 @@ def _scheme(name: str) -> Scheme:
     raise SystemExit(f"unknown scheme {name!r} (choose from: {choices})")
 
 
-def _plan(seeds: int, chaos_specs: Optional[List[str]] = None) -> ExperimentPlan:
+def _plan(
+    seeds: int,
+    chaos_specs: Optional[List[str]] = None,
+    health=None,
+) -> ExperimentPlan:
     base_config = None
-    if chaos_specs:
+    if chaos_specs or health is not None:
         from repro.config import SimulationConfig
         from repro.errors import ConfigurationError
         from repro.failures.chaos import ChaosSchedule
 
-        try:
-            schedule = ChaosSchedule.from_specs(chaos_specs)
-        except ConfigurationError as error:
-            raise SystemExit(str(error)) from None
-        # Storage-losing events need a second input replica, or lineage
-        # recovery bottoms out at permanently lost input blocks.
         replication = 1
-        if any(e.kind in ("host", "outage", "merger") for e in schedule.events):
-            replication = 2
-        base_config = SimulationConfig(
-            dfs_replication=replication
-        ).with_chaos(schedule)
+        schedule = None
+        if chaos_specs:
+            try:
+                schedule = ChaosSchedule.from_specs(chaos_specs)
+            except ConfigurationError as error:
+                raise SystemExit(str(error)) from None
+            # Storage-losing events need a second input replica, or
+            # lineage recovery bottoms out at permanently lost blocks.
+            if any(
+                e.kind in ("host", "outage", "merger")
+                for e in schedule.events
+            ):
+                replication = 2
+        base_config = SimulationConfig(dfs_replication=replication)
+        if schedule is not None:
+            base_config = base_config.with_chaos(schedule)
+        if health is not None:
+            base_config = base_config.with_health(health)
     return ExperimentPlan(seeds=tuple(range(seeds)), base_config=base_config)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     scheme = _scheme(args.scheme)
+    health = None
+    if args.blacklist or args.flow_retry:
+        from repro.config import HealthConfig
+
+        health = HealthConfig(
+            blacklist_enabled=args.blacklist,
+            flow_retry_enabled=args.flow_retry,
+            # Flow retry alone cannot dodge a sick path without the
+            # breaker steering re-issues, so the flags travel together.
+            breaker_enabled=args.flow_retry,
+        )
     result = run_workload_once(
-        workload, scheme, args.seed, _plan(1, chaos_specs=args.chaos)
+        workload, scheme, args.seed,
+        _plan(1, chaos_specs=args.chaos, health=health),
     )
     print(f"{workload.name} / {scheme.value} (seed {args.seed})")
     print(f"  shuffle backend : {result.backend}")
@@ -141,6 +164,22 @@ def cmd_run(args: argparse.Namespace) -> int:
                 f"{rec_wan / 1e6:.1f} MB WAN / "
                 f"{rec_intra / 1e6:.1f} MB intra-DC"
             )
+    health_counters = result.health
+    if health_counters and any(health_counters.values()):
+        print(
+            "  health          : "
+            f"excluded {health_counters['stage_exclusions']:.0f} stage/"
+            f"{health_counters['hosts_blacklisted']:.0f} host/"
+            f"{health_counters['datacenters_blacklisted']:.0f} dc, "
+            f"{health_counters['placements_vetoed']:.0f} veto(es), "
+            f"breaker {health_counters['breaker_trips']:.0f}T/"
+            f"{health_counters['breaker_probes']:.0f}P/"
+            f"{health_counters['breaker_closes']:.0f}C, "
+            f"{health_counters['flow_retries']:.0f} flow retrie(s) "
+            f"({health_counters['retry_wasted_bytes'] / 1e6:.1f} MB wasted), "
+            f"{health_counters['reelections']:.0f} re-election(s), "
+            f"{health_counters['fallback_activations']:.0f} fallback(s)"
+        )
     return 0
 
 
@@ -263,6 +302,20 @@ def build_parser() -> argparse.ArgumentParser:
         "host:<host>@<t>, outage:<dc>@<t>, merger:<dc>@<t>, or "
         "degrade:<src_dc>-><dst_dc>@<t>x<factor>[+<duration>] "
         "(degrade competes with bandwidth jitter; see DESIGN.md §9)",
+    )
+    run.add_argument(
+        "--blacklist",
+        action="store_true",
+        help="enable excludeOnFailure-style blacklisting: repeated task "
+        "failures exclude the (executor, stage), then the executor, "
+        "then its datacenter from placement (timed expiry; DESIGN.md §10)",
+    )
+    run.add_argument(
+        "--flow-retry",
+        action="store_true",
+        help="enable flow-level retry with per-flow deadlines and WAN "
+        "circuit breakers: transient degradations are absorbed by "
+        "re-issued flows instead of stage resubmission (DESIGN.md §10)",
     )
     run.set_defaults(func=cmd_run)
 

@@ -20,9 +20,10 @@ from repro.config import SimulationConfig
 from repro.cluster.builder import ClusterSpec, build_topology
 from repro.errors import ConfigurationError
 from repro.failures.chaos import ChaosInjector
+from repro.failures.health import BlacklistTracker, LinkHealthMonitor
 from repro.failures.injector import FailureInjector
 from repro.metrics.collectors import MetricsCollector
-from repro.metrics.perf import RecoveryCounters
+from repro.metrics.perf import HealthCounters, RecoveryCounters
 from repro.network.fabric import NetworkFabric
 from repro.network.jitter import BandwidthJitter
 from repro.network.traffic_monitor import TrafficMonitor
@@ -84,6 +85,16 @@ class ClusterContext:
         )
         self.metrics = MetricsCollector()
         self.recovery = RecoveryCounters()
+        # Health-aware degradation (opt-in via config.health): the
+        # placement blacklist and the per-WAN-pair circuit breakers,
+        # both reporting into the shared HealthCounters.
+        self.health = HealthCounters()
+        self.blacklist = BlacklistTracker(
+            self.config.health, self.health, self.topology, self.sim
+        )
+        self.link_health = LinkHealthMonitor(
+            self.config.health, self.health, self.topology, self.fabric, self.sim
+        )
         self.failure_injector = FailureInjector(
             self.config.failures,
             self.randomness.child("failures"),
@@ -101,6 +112,7 @@ class ClusterContext:
             self.executors,
             self.config.scheduling,
             run_task=runner.run,
+            blacklist=self.blacklist,
         )
         # Receiver (transferTo) tasks are I/O-bound: they stream pushed
         # map output, overlapping computation on the same workers (the
@@ -117,6 +129,7 @@ class ClusterContext:
             self.transfer_executors,
             self.config.scheduling,
             run_task=runner.run,
+            blacklist=self.blacklist,
         )
         self.dag_scheduler = DAGScheduler(self)
 

@@ -92,6 +92,14 @@ class SchedulingConfig:
     max_fetch_failures_per_task: int = 8
 
     def __post_init__(self) -> None:
+        if self.speculation_multiplier < 1:
+            raise ConfigurationError("speculation_multiplier must be >= 1")
+        if not 0 < self.speculation_quantile <= 1:
+            raise ConfigurationError(
+                "speculation_quantile must be in (0, 1]"
+            )
+        if self.speculation_interval <= 0:
+            raise ConfigurationError("speculation_interval must be > 0")
         if self.max_stage_retries < 1:
             raise ConfigurationError("max_stage_retries must be >= 1")
         if self.stage_retry_backoff < 0:
@@ -123,6 +131,94 @@ class FailureConfig:
         if self.max_injected_failures_per_task < 0:
             raise ConfigurationError(
                 "max_injected_failures_per_task must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Health-aware degradation: blacklisting, circuit breakers, retry.
+
+    Everything here is opt-in (all features default off), so the legacy
+    failure path — interrupt attempts, resubmit stages from lineage —
+    is byte-for-byte unchanged unless a feature is enabled.  See
+    DESIGN.md §10 and :mod:`repro.failures.health`.
+    """
+
+    # Spark-style excludeOnFailure: a host accumulating task failures is
+    # excluded per-stage first, then app-wide (with timed expiry), and a
+    # datacenter most of whose hosts are excluded is escalated whole.
+    blacklist_enabled: bool = False
+    max_task_failures_per_executor_stage: int = 2
+    max_task_failures_per_executor: int = 4
+    blacklist_timeout: float = 60.0
+    datacenter_exclusion_threshold: int = 2
+
+    # Per-WAN-link circuit breaker (closed -> open -> half-open with
+    # probe flows), driven by flow deadline misses on the link.
+    breaker_enabled: bool = False
+    breaker_failure_threshold: int = 3
+    breaker_cooldown: float = 10.0
+    breaker_probe_flows: int = 1
+    breaker_probes_to_close: int = 2
+
+    # Flow-level retry: a flow missing its per-flow deadline is
+    # cancelled and re-issued (possibly from another replica) with
+    # exponential backoff.  The deadline is ``base + multiplier x ideal
+    # transfer time at the route's *base* (undegraded) capacities``, so
+    # a deep chaos degrade misses it while ordinary fair-share
+    # contention does not; the final attempt runs without a deadline —
+    # slowness alone never escalates to FetchFailed (genuinely missing
+    # data already raises at lookup time).
+    flow_retry_enabled: bool = False
+    max_flow_retries: int = 3
+    flow_retry_backoff: float = 0.5
+    flow_deadline_base: float = 10.0
+    flow_deadline_multiplier: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_task_failures_per_executor_stage < 1:
+            raise ConfigurationError(
+                "max_task_failures_per_executor_stage must be >= 1"
+            )
+        if self.max_task_failures_per_executor < 1:
+            raise ConfigurationError(
+                "max_task_failures_per_executor must be >= 1"
+            )
+        if self.blacklist_timeout <= 0:
+            raise ConfigurationError("blacklist_timeout must be > 0")
+        if self.datacenter_exclusion_threshold < 1:
+            raise ConfigurationError(
+                "datacenter_exclusion_threshold must be >= 1"
+            )
+        if self.breaker_failure_threshold < 1:
+            raise ConfigurationError(
+                "breaker_failure_threshold must be >= 1"
+            )
+        if self.breaker_cooldown <= 0:
+            raise ConfigurationError("breaker_cooldown must be > 0")
+        if self.breaker_probe_flows < 1:
+            raise ConfigurationError("breaker_probe_flows must be >= 1")
+        if self.breaker_probes_to_close < 1:
+            raise ConfigurationError(
+                "breaker_probes_to_close must be >= 1"
+            )
+        if self.max_flow_retries < 1:
+            raise ConfigurationError("max_flow_retries must be >= 1")
+        if self.flow_retry_backoff < 0:
+            raise ConfigurationError("flow_retry_backoff must be >= 0")
+        if self.flow_deadline_base < 0:
+            raise ConfigurationError("flow_deadline_base must be >= 0")
+        if self.flow_deadline_multiplier < 0:
+            raise ConfigurationError(
+                "flow_deadline_multiplier must be >= 0"
+            )
+        if (
+            self.flow_retry_enabled
+            and self.flow_deadline_base == 0
+            and self.flow_deadline_multiplier == 0
+        ):
+            raise ConfigurationError(
+                "flow retry needs a positive deadline (base or multiplier)"
             )
 
 
@@ -183,6 +279,9 @@ class SimulationConfig:
     disk: DiskModel = field(default_factory=DiskModel)
     scheduling: SchedulingConfig = field(default_factory=SchedulingConfig)
     failures: FailureConfig = field(default_factory=FailureConfig)
+    # Health-aware degradation (blacklist, WAN circuit breakers,
+    # flow-level retry); every feature defaults off.
+    health: HealthConfig = field(default_factory=HealthConfig)
     shuffle: ShuffleConfig = field(default_factory=ShuffleConfig)
     jitter: Optional[JitterSpec] = field(default_factory=JitterSpec)
     # Timed infrastructure faults (executor crashes, host/DC losses,
@@ -221,6 +320,9 @@ class SimulationConfig:
 
     def with_seed(self, seed: int) -> "SimulationConfig":
         return replace(self, seed=seed)
+
+    def with_health(self, health: HealthConfig) -> "SimulationConfig":
+        return replace(self, health=health)
 
 
 def fetch_config(**overrides) -> SimulationConfig:

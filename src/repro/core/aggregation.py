@@ -17,7 +17,7 @@ is submitted, from the distribution of that stage's input:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Set
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set
 
 from repro.errors import SchedulerError
 from repro.rdd.dependencies import ShuffleDependency, TransferDependency
@@ -54,6 +54,11 @@ def stage_input_bytes_by_datacenter(
             for partition in range(rdd.num_partitions):
                 block_id = rdd.block_id(partition)
                 locations = context.dfs.block_locations(block_id)
+                if not locations:
+                    # Every replica died (re-election after an outage
+                    # sizes against live state); the read path raises
+                    # its own BlockNotFoundError if it is truly needed.
+                    continue
                 size = context.dfs.block_size(block_id)
                 dc = topology.datacenter_of(locations[0])
                 by_dc[dc] = by_dc.get(dc, 0.0) + size
@@ -85,19 +90,30 @@ def stage_input_bytes_by_datacenter(
 
 
 def select_aggregator_datacenters(
-    stage: "Stage", context: "ClusterContext", subset_size: int = 1
+    stage: "Stage",
+    context: "ClusterContext",
+    subset_size: int = 1,
+    exclude: Sequence[str] = (),
 ) -> List[str]:
     """The ``subset_size`` datacenters holding the most stage input.
 
-    Deterministic: sorted by (bytes descending, name ascending).  Falls
-    back to the driver's datacenter when no input bytes are visible at
-    all (e.g. a parallelized source).
+    Deterministic: sorted by (bytes descending, name ascending).
+    ``exclude`` drops health-vetoed datacenters from the ranking (used
+    by re-election after a blacklist/breaker verdict); when everything
+    is excluded the unfiltered ranking stands — a suspect aggregator
+    still beats no aggregator.  Falls back to the driver's datacenter
+    when no input bytes are visible at all (e.g. a parallelized source).
     """
     if subset_size < 1:
         raise SchedulerError("subset_size must be >= 1")
     by_dc = stage_input_bytes_by_datacenter(stage, context)
     ranked = sorted(by_dc.items(), key=lambda item: (-item[1], item[0]))
-    chosen = [dc for dc, size in ranked[:subset_size] if size > 0]
+    excluded = set(exclude)
+    chosen = [
+        dc for dc, size in ranked if size > 0 and dc not in excluded
+    ][:subset_size]
+    if not chosen:
+        chosen = [dc for dc, size in ranked[:subset_size] if size > 0]
     if not chosen:
         chosen = [context.topology.datacenter_of(context.driver_host)]
     return chosen

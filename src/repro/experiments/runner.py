@@ -78,6 +78,9 @@ class RunResult:
     straggler_hits: int = 0
     chaos_events_applied: int = 0
     recovery: Dict[str, int] = field(default_factory=dict)
+    # Health-aware degradation counters (blacklist exclusions, breaker
+    # trips, flow retries, re-elections; see repro.metrics.perf).
+    health: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -197,6 +200,7 @@ def run_workload_once(
             else 0
         ),
         recovery=context.recovery.as_dict(),
+        health=context.health.as_dict(),
     )
 
 

@@ -1,13 +1,23 @@
 """Failure, straggler, and chaos injection (paper Fig. 2 / §II-B)."""
 
 from repro.failures.chaos import ChaosEvent, ChaosInjector, ChaosSchedule
+from repro.failures.health import (
+    BlacklistTracker,
+    LinkHealthMonitor,
+    flow_deadline,
+    transfer_with_retry,
+)
 from repro.failures.injector import FailureInjector
 from repro.failures.stragglers import StragglerModel
 
 __all__ = [
+    "BlacklistTracker",
     "ChaosEvent",
     "ChaosInjector",
     "ChaosSchedule",
     "FailureInjector",
+    "LinkHealthMonitor",
     "StragglerModel",
+    "flow_deadline",
+    "transfer_with_retry",
 ]

@@ -37,6 +37,7 @@ terminates.  Compact CLI syntax (``--chaos crash:dc-a-w0@5``)::
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
@@ -70,17 +71,22 @@ class ChaosEvent:
             raise ConfigurationError(
                 f"unknown chaos kind {self.kind!r} (one of: {known})"
             )
-        if self.at < 0:
-            raise ConfigurationError("chaos event time must be >= 0")
+        if not math.isfinite(self.at) or self.at < 0:
+            raise ConfigurationError(
+                f"chaos event time must be finite and >= 0, got {self.at!r}"
+            )
         if not self.target:
             raise ConfigurationError("chaos event needs a target")
         if self.kind == "degrade":
-            if not 0 < self.factor <= 1:
+            if not (math.isfinite(self.factor) and 0 < self.factor <= 1):
                 raise ConfigurationError(
-                    "degrade factor must be in (0, 1]"
+                    f"degrade factor must be in (0, 1], got {self.factor!r}"
                 )
-            if self.duration < 0:
-                raise ConfigurationError("degrade duration must be >= 0")
+            if not math.isfinite(self.duration) or self.duration < 0:
+                raise ConfigurationError(
+                    "degrade duration must be finite and >= 0, "
+                    f"got {self.duration!r}"
+                )
             if "->" not in self.target:
                 raise ConfigurationError(
                     "degrade target must be '<src_dc>-><dst_dc>'"
@@ -338,16 +344,21 @@ class ChaosInjector:
         context = self.context
         src, dst = event.link_endpoints
         link = context.topology.wan_link(src, dst)
-        degraded = max(link.base_capacity * event.factor, MIN_LINK_CAPACITY)
-        context.fabric.set_link_capacity(link, degraded)
+        # Multiplicative overlay, not an absolute capacity: on jittered
+        # links the resampler keeps moving the nominal capacity, and a
+        # plain set_capacity would be overwritten at the next tick.
+        factor = max(
+            event.factor, MIN_LINK_CAPACITY / link.base_capacity
+        )
+        context.fabric.set_link_degrade(link, factor)
         context.recovery.wan_degradations += 1
         if event.duration > 0:
             context.sim.spawn(
                 self._restore_later(link, event.duration),
                 name=f"chaos:restore:{link.name}",
             )
-        return f"{link.name} capacity -> {degraded:.0f} B/s"
+        return f"{link.name} capacity x{factor:g} -> {link.capacity:.0f} B/s"
 
     def _restore_later(self, link: "Link", delay: float):
         yield self.context.sim.timeout(delay)
-        self.context.fabric.set_link_capacity(link, link.base_capacity)
+        self.context.fabric.set_link_degrade(link, 1.0)

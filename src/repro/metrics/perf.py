@@ -181,6 +181,78 @@ class ShuffleCounters:
 
 
 @dataclass
+class HealthCounters:
+    """What the health-aware degradation machinery did during one run.
+
+    Owned by :class:`repro.cluster.context.ClusterContext`
+    (``context.health``) and incremented by the
+    :class:`~repro.failures.health.BlacklistTracker`, the
+    :class:`~repro.failures.health.LinkHealthMonitor`, the flow-retry
+    layer, and the backends' graceful-degradation hooks.  Where
+    :class:`RecoveryCounters` records the *blunt* instruments (attempt
+    relaunches, lineage resubmission), these counters record the
+    *graceful* middle of the failure spectrum.
+
+    * ``stage_exclusions``        — (executor, stage) pairs excluded
+      after repeated task failures in one stage;
+    * ``hosts_blacklisted``       — executors excluded app-wide (timed);
+    * ``datacenters_blacklisted`` — datacenter-level escalations;
+    * ``blacklist_evictions``     — timed expiries of app-wide
+      exclusions (the executor returns to service);
+    * ``placements_vetoed``       — placement decisions the scheduler
+      changed because the candidate host was excluded;
+    * ``breaker_trips``           — WAN circuit breakers opened
+      (including half-open probes that failed and re-opened);
+    * ``breaker_probes``          — probe flows admitted in half-open;
+    * ``breaker_closes``          — breakers closed after successful
+      probes;
+    * ``flow_retries``            — flows cancelled at their deadline
+      and re-issued (possibly from another replica);
+    * ``retry_wasted_bytes``      — bytes delivered by flows that were
+      then abandoned (transferred but thrown away);
+    * ``reelections``             — aggregation-datacenter or merger
+      re-elections after the previous choice became unhealthy;
+    * ``fallback_activations``    — shuffles degraded to plain fetch
+      semantics because no healthy merger could be elected.
+    """
+
+    stage_exclusions: int = 0
+    hosts_blacklisted: int = 0
+    datacenters_blacklisted: int = 0
+    blacklist_evictions: int = 0
+    placements_vetoed: int = 0
+    breaker_trips: int = 0
+    breaker_probes: int = 0
+    breaker_closes: int = 0
+    flow_retries: int = 0
+    retry_wasted_bytes: float = 0.0
+    reelections: int = 0
+    fallback_activations: int = 0
+
+    @property
+    def any_activity(self) -> bool:
+        return any(getattr(self, f.name) for f in fields(self))
+
+    def as_dict(self) -> Dict[str, float]:
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    def format_summary(self) -> str:
+        """One-line human-readable summary for CLI / bench output."""
+        return (
+            f"excluded={self.stage_exclusions}stage/"
+            f"{self.hosts_blacklisted}host/{self.datacenters_blacklisted}dc "
+            f"evicted={self.blacklist_evictions} "
+            f"vetoed={self.placements_vetoed} "
+            f"breaker={self.breaker_trips}T/{self.breaker_probes}P/"
+            f"{self.breaker_closes}C "
+            f"flow_retries={self.flow_retries} "
+            f"wasted={self.retry_wasted_bytes / 1e6:.1f}MB "
+            f"reelections={self.reelections} "
+            f"fallbacks={self.fallback_activations}"
+        )
+
+
+@dataclass
 class RecoveryCounters:
     """What the fault-tolerance machinery did during one context's life.
 

@@ -133,8 +133,16 @@ class NetworkFabric:
         self.wan_flow_cap = wan_flow_cap
         self.perf = FabricPerfCounters()
         self._incremental = incremental
+        # link name -> health-advised capacity ceiling (circuit-breaker
+        # hints); shared by reference with the incremental engine so a
+        # mutation here clamps its next capacity read.
+        self._capacity_hints: Dict[str, float] = {}
         self._engine: Optional[IncrementalFairShare] = (
-            IncrementalFairShare(wan_flow_cap=wan_flow_cap, counters=self.perf)
+            IncrementalFairShare(
+                wan_flow_cap=wan_flow_cap,
+                counters=self.perf,
+                hints=self._capacity_hints,
+            )
             if incremental
             else None
         )
@@ -259,6 +267,66 @@ class NetworkFabric:
         """
         link.set_capacity(capacity)
         self.notify_capacity_change(changed_links=(link,))
+
+    def set_link_degrade(self, link: Link, factor: float) -> None:
+        """Apply a multiplicative chaos degrade to one link and re-solve.
+
+        Unlike :meth:`set_link_capacity`, the factor overlays whatever
+        nominal capacity the link's bandwidth process (jitter, static
+        pin) maintains — a later jitter resample keeps the degrade.
+        Reset with ``factor=1.0``.
+        """
+        link.set_degrade_factor(factor)
+        self.notify_capacity_change(changed_links=(link,))
+
+    def set_capacity_hint(self, link: Link, rate: float) -> None:
+        """Clamp the solver's view of ``link`` to ``rate`` bytes/second
+        without touching the link itself (chaos and jitter keep owning
+        the real capacity).  Used by the circuit breaker to model
+        endpoint backoff on a sick path; a hint at or above the real
+        capacity is a no-op by construction."""
+        self._capacity_hints[link.name] = rate
+        self.notify_capacity_change(changed_links=(link,))
+
+    def clear_capacity_hint(self, link: Link) -> None:
+        if self._capacity_hints.pop(link.name, None) is not None:
+            self.notify_capacity_change(changed_links=(link,))
+
+    def cancel(self, flow_event: Event) -> Optional[float]:
+        """Abort the in-flight flow owning ``flow_event``.
+
+        Returns the bytes it had delivered by now (recorded with the
+        traffic monitor under the flow's tag, so monitor totals keep
+        matching what actually crossed the links), or ``None`` when the
+        flow already departed — its completion event is pending (only
+        propagation latency remains) and the caller should await it
+        instead.  The completion event of a cancelled flow never fires.
+        """
+        flow = self._flow_by_event.get(flow_event)
+        if flow is None:
+            return None
+        if self._engine is not None:
+            self._charge(flow)
+        else:
+            self._advance_progress()
+        del self._flows[flow.flow_id]
+        del self._flow_by_event[flow.completion]
+        if self._engine is not None:
+            self._engine.remove_flow(flow.flow_id)
+            self._dirty_links.update(link.name for link in flow.route)
+        # Freed capacity redistributes to the survivors (global drive
+        # re-solves everything; stale deadline-heap entries for the
+        # removed id are skipped on pop).
+        self._schedule_recompute()
+        flow.finished_at = self.sim.now
+        delivered = flow.size_bytes - flow.remaining
+        if delivered < 0:
+            delivered = 0.0
+        if delivered > 0:
+            src_dc = self.topology.datacenter_of(flow.src_host)
+            dst_dc = self.topology.datacenter_of(flow.dst_host)
+            self.monitor.record(src_dc, dst_dc, delivered, flow.tag)
+        return delivered
 
     def solver_inputs(self) -> Tuple[Dict[int, Tuple[str, ...]], Dict[str, float]]:
         """The global (routes, capacities) dicts describing the current
@@ -448,10 +516,15 @@ class NetworkFabric:
     ) -> Tuple[Dict[int, Tuple[str, ...]], Dict[str, float]]:
         routes: Dict[int, Tuple[str, ...]] = {}
         capacities: Dict[str, float] = {}
+        hints = self._capacity_hints
         for flow_id, flow in self._flows.items():
             names = [link.name for link in flow.route]
             for link in flow.route:
-                capacities[link.name] = link.capacity
+                capacity = link.capacity
+                hint = hints.get(link.name)
+                if hint is not None and hint < capacity:
+                    capacity = hint
+                capacities[link.name] = capacity
             # The TCP cap is a virtual per-flow link on WAN routes.
             if self.wan_flow_cap is not None and any(
                 link.is_wan for link in flow.route

@@ -45,9 +45,15 @@ class IncrementalFairShare:
         self,
         wan_flow_cap: Optional[float] = None,
         counters: Optional[FabricPerfCounters] = None,
+        hints: Optional[Dict[str, float]] = None,
     ) -> None:
         self.wan_flow_cap = wan_flow_cap
         self.counters = counters if counters is not None else FabricPerfCounters()
+        # link name -> health-advised capacity ceiling (shared with the
+        # fabric, which mutates it); clamps every capacity read so an
+        # open circuit breaker can throttle a sick path below its
+        # nominal bandwidth without touching the Link object.
+        self._hints: Dict[str, float] = hints if hints is not None else {}
         # flow id -> full solver route (shared link names + optional
         # virtual cap link), built once at admission and reused by every
         # subsequent solve.
@@ -62,6 +68,13 @@ class IncrementalFairShare:
         # lockstep with the graph instead of being rebuilt per solve.
         self._capacities: Dict[str, float] = {}
         self._rates: Dict[FlowId, float] = {}
+
+    def _effective_capacity(self, link: Link) -> float:
+        hint = self._hints.get(link.name)
+        capacity = link.capacity
+        if hint is not None and hint < capacity:
+            return hint
+        return capacity
 
     # ------------------------------------------------------------------
     # Graph maintenance
@@ -78,7 +91,7 @@ class IncrementalFairShare:
             if carriers is None:
                 self._link_flows[name] = {flow_id}
                 self._links[name] = link
-                self._capacities[name] = link.capacity
+                self._capacities[name] = self._effective_capacity(link)
             else:
                 carriers.add(flow_id)
         self._shared[flow_id] = tuple(names)
@@ -108,14 +121,14 @@ class IncrementalFairShare:
         admission that crosses it."""
         if link.name not in self._link_flows:
             return False
-        self._capacities[link.name] = link.capacity
+        self._capacities[link.name] = self._effective_capacity(link)
         return True
 
     def refresh_capacities(self) -> Set[str]:
         """Re-read every carried link's capacity (unscoped notification);
         returns the carried link names, all considered dirty."""
         for name, link in self._links.items():
-            self._capacities[name] = link.capacity
+            self._capacities[name] = self._effective_capacity(link)
         return set(self._links)
 
     # ------------------------------------------------------------------

@@ -92,13 +92,17 @@ class BandwidthJitter:
                 target = self.randomness.uniform(
                     f"jitter:target:{link.name}", self.spec.low, self.spec.high
                 )
-                delta = target - link.capacity
+                # Walk the *nominal* capacity: a concurrent chaos
+                # degrade scales the effective capacity underneath and
+                # must neither perturb the walk nor be undone by it.
+                delta = target - link.nominal_capacity
                 if delta > max_step:
                     delta = max_step
                 elif delta < -max_step:
                     delta = -max_step
                 new_capacity = min(
-                    self.spec.high, max(self.spec.low, link.capacity + delta)
+                    self.spec.high,
+                    max(self.spec.low, link.nominal_capacity + delta),
                 )
                 link.set_capacity(new_capacity)
             # Scoped notification: the fabric re-solves only components

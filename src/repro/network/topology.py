@@ -28,7 +28,15 @@ MBPS = 1_000_000 / 8.0  # bytes per second in one megabit per second
 class Link:
     """A directed link with a (mutable) capacity in bytes/second."""
 
-    __slots__ = ("name", "capacity", "base_capacity", "latency", "is_wan")
+    __slots__ = (
+        "name",
+        "capacity",
+        "base_capacity",
+        "nominal_capacity",
+        "degrade_factor",
+        "latency",
+        "is_wan",
+    )
 
     def __init__(
         self,
@@ -44,13 +52,34 @@ class Link:
         self.name = name
         self.capacity = float(capacity)
         self.base_capacity = float(capacity)
+        # What the owning bandwidth process (jitter / static pin) last
+        # set, before any chaos degrade.  ``capacity`` — what the solver
+        # sees — is ``nominal_capacity * degrade_factor``, so a jitter
+        # resample and a chaos degrade compose instead of overwriting
+        # each other.
+        self.nominal_capacity = float(capacity)
+        self.degrade_factor = 1.0
         self.latency = float(latency)
         self.is_wan = is_wan
 
     def set_capacity(self, capacity: float) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"link {self.name}: capacity must be > 0")
-        self.capacity = float(capacity)
+        self.nominal_capacity = float(capacity)
+        self.capacity = self.nominal_capacity * self.degrade_factor
+
+    def set_degrade_factor(self, factor: float) -> None:
+        """Scale the effective capacity by ``factor`` (chaos degrade).
+
+        Persists across ``set_capacity`` calls until reset to 1.0, so a
+        concurrent jitter process cannot silently undo a degrade.
+        """
+        if factor <= 0:
+            raise ConfigurationError(
+                f"link {self.name}: degrade factor must be > 0"
+            )
+        self.degrade_factor = float(factor)
+        self.capacity = self.nominal_capacity * self.degrade_factor
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} {self.capacity * 8 / 1e6:.0f} Mbps>"

@@ -299,6 +299,11 @@ class DAGScheduler:
             yield self.sim.timeout(
                 config.stage_retry_backoff * 2 ** (count - 1)
             )
+        # A failed transfer destination is re-elected before the
+        # producers re-stage: receivers read ``resolved_destinations``
+        # fresh on every retry, so the new choice takes effect at once.
+        if stage.kind is StageKind.TRANSFER_PRODUCER:
+            self._resolve_destination(stage, reelect=True)
         missing = [
             partition
             for partition in range(stage.num_partitions)
@@ -427,18 +432,43 @@ class DAGScheduler:
     # ------------------------------------------------------------------
     # Aggregator resolution and placement preferences
     # ------------------------------------------------------------------
-    def _resolve_destination(self, producer_stage: Stage) -> None:
+    def _resolve_destination(
+        self, producer_stage: Stage, reelect: bool = False
+    ) -> None:
+        """Elect the aggregation datacenter(s) of a transfer boundary.
+
+        With ``reelect=True`` (producer resubmission after a failure)
+        the election reruns with health-vetoed datacenters excluded —
+        blacklisted ones, quarantined ones (an open breaker inbound),
+        and ones with no live executor — so the recovered transfer lands
+        somewhere that can actually receive it.  An explicit
+        ``destination_datacenter`` pin is never overridden.
+        """
+        context = self.context
         dep = producer_stage.outgoing_dep
         assert isinstance(dep, TransferDependency)
-        if getattr(dep, "resolved_destinations", None):
+        previous = getattr(dep, "resolved_destinations", None)
+        if previous and not reelect:
             return
         if dep.destination_datacenter is not None:
             dep.resolved_destinations = [dep.destination_datacenter]  # type: ignore[attr-defined]
             return
-        subset = self.context.config.shuffle.aggregation_subset_size
-        dep.resolved_destinations = select_aggregator_datacenters(  # type: ignore[attr-defined]
-            producer_stage, self.context, subset_size=subset
+        exclude = []
+        if reelect:
+            for datacenter in context.topology.datacenters:
+                if (
+                    not context.workers_in(datacenter)
+                    or context.blacklist.is_datacenter_excluded(datacenter)
+                    or context.link_health.datacenter_quarantined(datacenter)
+                ):
+                    exclude.append(datacenter)
+        subset = context.config.shuffle.aggregation_subset_size
+        chosen = select_aggregator_datacenters(
+            producer_stage, context, subset_size=subset, exclude=exclude
         )
+        dep.resolved_destinations = chosen  # type: ignore[attr-defined]
+        if reelect and previous and chosen != list(previous):
+            context.health.reelections += 1
 
     def _receiver_preferred_hosts(self, stage: Stage, partition: int) -> List[str]:
         topology = self.context.topology

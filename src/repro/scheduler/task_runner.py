@@ -59,6 +59,7 @@ class TaskRunner:
                 refetched += runtime.shuffle_bytes_fetched
             if task.stage.reads_shuffle and context.failure_injector.should_fail(task):
                 context.metrics.on_task_attempt_failed(task, host, sim.now)
+                context.blacklist.note_task_failure(host, task.stage.stage_id)
                 # The next attempt re-fetches shuffle input; those flows
                 # are recovery traffic (paper Fig. 2).
                 task.recovery = True

@@ -84,11 +84,26 @@ class TaskRuntime:
             host for host in locations
             if topology.datacenter_of(host) == my_dc
         ]
-        source = same_dc[0] if same_dc else locations[0]
-        yield self.context.fabric.transfer(
-            source, self.host, block.size_bytes, tag="input"
-        )
         self.bytes_transferred_in += block.size_bytes
+        if self.context.config.health.flow_retry_enabled:
+            # Replica-rotating retry: a deadline miss re-issues the read
+            # from the next replica (same-DC replicas first), so a
+            # degraded path is sidestepped whenever dfs_replication left
+            # a copy elsewhere.
+            from repro.failures.health import transfer_with_retry
+
+            sources = same_dc + [
+                host for host in locations if host not in same_dc
+            ]
+            yield from transfer_with_retry(
+                self.context, sources, self.host, block.size_bytes,
+                tag="input",
+            )
+        else:
+            source = same_dc[0] if same_dc else locations[0]
+            yield self.context.fabric.transfer(
+                source, self.host, block.size_bytes, tag="input"
+            )
         return list(block.records)
 
     def read_driver_data(self, records: List[Any]):

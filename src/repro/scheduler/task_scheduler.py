@@ -85,6 +85,7 @@ class TaskScheduler:
         executors: Dict[str, Executor],
         config: SchedulingConfig,
         run_task: TaskBody,
+        blacklist=None,
     ) -> None:
         if not executors:
             raise NoEligibleExecutorError("no executors registered")
@@ -93,6 +94,9 @@ class TaskScheduler:
         self.executors = executors
         self.config = config
         self.run_task = run_task
+        # Optional BlacklistTracker consulted at placement (excludeOn-
+        # Failure); None or a disabled tracker leaves dispatch untouched.
+        self.blacklist = blacklist
         self._pending: List[_PendingEntry] = []
         # Launched-but-unfinished attempts, in launch order (a list, not
         # a set: executor removal iterates it and must be deterministic).
@@ -181,7 +185,11 @@ class TaskScheduler:
             return None
         best: Optional[Tuple[int, int, int, _PendingEntry, str]] = None
         for entry in self._pending:
+            vetoed = self._vetoed_hosts(entry.task)
             for host in free_hosts:
+                if vetoed is not None and host in vetoed:
+                    self.blacklist.counters.placements_vetoed += 1
+                    continue
                 level = self._eligibility(entry.task, host)
                 if level is None:
                     continue
@@ -196,6 +204,27 @@ class TaskScheduler:
         if best is None:
             return None
         return best[3], best[4]
+
+    def _vetoed_hosts(self, task: Task) -> Optional[set]:
+        """The hosts the blacklist excludes for ``task``, or None.
+
+        Anti-starvation override: when *every* live executor is
+        excluded, the blacklist is ignored for this task — a wedged
+        exclusion list must never deadlock the dispatcher.
+        """
+        blacklist = self.blacklist
+        if blacklist is None or not blacklist.enabled:
+            return None
+        stage = getattr(task, "stage", None)
+        stage_id = stage.stage_id if stage is not None else None
+        vetoed = {
+            host
+            for host in self.executors
+            if blacklist.is_excluded(host, stage_id)
+        }
+        if not vetoed or len(vetoed) >= len(self.executors):
+            return None
+        return vetoed
 
     def _task_waits(self, task: Task) -> Tuple[float, float]:
         host_wait = (
@@ -216,6 +245,12 @@ class TaskScheduler:
             return _ANY
         if host in task.preferred_hosts:
             return _HOST_LOCAL
+        if not any(pref in self.executors for pref in task.preferred_hosts):
+            # Every preferred host is dead (e.g. a datacenter outage
+            # took the elected aggregator): waiting out the locality
+            # tiers cannot help, so run anywhere now and let the read
+            # path escalate to re-election instead of stalling.
+            return _ANY
         host_wait, dc_wait = self._task_waits(task)
         waited = self.sim.now - task.submit_time
         if waited >= host_wait:
@@ -286,6 +321,13 @@ class TaskScheduler:
                     if next_time is None or threshold < next_time:
                         next_time = threshold
                     break
+        # A blacklist expiry can unblock a vetoed placement even though
+        # no locality tier is pending.
+        if self.blacklist is not None and self.blacklist.enabled:
+            expiry = self.blacklist.next_expiry()
+            if expiry is not None and expiry > self.sim.now:
+                if next_time is None or expiry < next_time:
+                    next_time = expiry
         if next_time is None:
             return
         if self._wake_planned_at is not None and (

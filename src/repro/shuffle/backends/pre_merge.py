@@ -47,6 +47,15 @@ class PreMergeBackend(ShuffleBackend):
         # Most recent merger host per datacenter — the single point of
         # failure chaos "merger" events target.
         self._mergers: Dict[str, str] = {}
+        # Shadow of the last *elected* merger per datacenter, surviving
+        # ``on_host_failure`` (unlike ``_mergers``): a consolidation
+        # that lands on a different host than last time is a merger
+        # re-election, counted in HealthCounters.
+        self._last_merger: Dict[str, str] = {}
+        # Shuffles where a datacenter's merge was skipped for health
+        # (blacklisted DC): their layout stays scattered there and reads
+        # degrade to plain per-source fetches — the last-resort fallback.
+        self._fallback: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Pre-reduce consolidation
@@ -80,6 +89,16 @@ class PreMergeBackend(ShuffleBackend):
             )
         if not candidates:
             return None
+        # Prefer hosts the blacklist considers healthy; when every
+        # candidate is excluded the unfiltered list stands (a merge onto
+        # a suspect host still beats leaving the data scattered).
+        blacklist = self.context.blacklist
+        if blacklist.enabled:
+            healthy = [
+                host for host in candidates if not blacklist.is_excluded(host)
+            ]
+            if healthy:
+                candidates = healthy
         return min(
             candidates, key=lambda host: (-per_host.get(host, 0.0), host)
         )
@@ -110,10 +129,24 @@ class PreMergeBackend(ShuffleBackend):
                 recovery and len(per_host) == 1
             ):
                 continue  # already co-located (or a single map)
+            if context.blacklist.is_datacenter_excluded(datacenter):
+                # The whole datacenter is suspect: funnelling its bytes
+                # onto one member would concentrate risk, so leave the
+                # layout scattered and let reads degrade to plain
+                # per-source fetches (byte-identical output, fetch-shaped
+                # traffic) — the last-resort fallback.
+                if shuffle_id not in self._fallback:
+                    self._fallback.add(shuffle_id)
+                    context.health.fallback_activations += 1
+                continue
             merger = self._choose_merger(datacenter, per_host)
             if merger is None:
                 continue
             self._mergers[datacenter] = merger
+            previous = self._last_merger.get(datacenter)
+            if previous is not None and previous != merger:
+                context.health.reelections += 1
+            self._last_merger[datacenter] = merger
             if all(status.host == merger for status in group):
                 continue  # recovery found everything already in place
             self.counters.merge_rounds += 1
@@ -182,19 +215,31 @@ class PreMergeBackend(ShuffleBackend):
                 )
         local_bytes = by_source.pop(runtime.host, 0.0)
         flows = []
+        retry_enabled = context.config.health.flow_retry_enabled
         for source in sorted(by_source):
             size = by_source[source]
-            flows.append(
-                context.fabric.transfer(
-                    source, runtime.host, size, tag="shuffle"
-                )
-            )
             runtime.shuffle_bytes_fetched += size
             self.counters.blocks_fetched += 1
-            self._account_flow(
-                source, runtime.host, size, shuffle_id=dep.shuffle_id,
-                recovery=runtime.task.recovery,
-            )
+            if retry_enabled:
+                flows.append(
+                    context.sim.spawn(
+                        self._fetch_with_retry(runtime, dep, source, size),
+                        name=(
+                            f"fetch-retry:s{dep.shuffle_id}"
+                            f"r{reduce_index}@{source}"
+                        ),
+                    )
+                )
+            else:
+                flows.append(
+                    context.fabric.transfer(
+                        source, runtime.host, size, tag="shuffle"
+                    )
+                )
+                self._account_flow(
+                    source, runtime.host, size, shuffle_id=dep.shuffle_id,
+                    recovery=runtime.task.recovery,
+                )
         if local_bytes > 0:
             yield context.sim.timeout(
                 context.config.disk.read_time(local_bytes)
@@ -211,6 +256,7 @@ class PreMergeBackend(ShuffleBackend):
     def remove_shuffle(self, shuffle_id: int) -> None:
         super().remove_shuffle(shuffle_id)
         self._merged.discard(shuffle_id)
+        self._fallback.discard(shuffle_id)
 
     def on_host_failure(self, host: str) -> None:
         """Re-run partitions register at new hosts; allow a re-merge so

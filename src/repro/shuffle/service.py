@@ -33,6 +33,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import FetchFailedError
+from repro.failures.health import transfer_with_retry
 from repro.metrics.perf import ShuffleCounters
 from repro.shuffle.map_output_tracker import MapStatus
 from repro.shuffle.stores import ShuffleShard
@@ -170,6 +171,7 @@ class ShuffleBackend:
         records: List[Any] = []
         flows = []
         local_bytes = 0.0
+        retry_enabled = context.config.health.flow_retry_enabled
         for status in statuses:
             shard = store.get_shard(
                 dep.shuffle_id, status.map_index, reduce_index
@@ -180,19 +182,34 @@ class ShuffleBackend:
             if status.host == runtime.host:
                 local_bytes += shard.size_bytes
             else:
-                flows.append(
-                    context.fabric.transfer(
-                        status.host, runtime.host, shard.size_bytes,
-                        tag="shuffle",
-                    )
-                )
+                # Bytes and blocks are counted once per logical block,
+                # whatever number of flow attempts delivers it.
                 runtime.shuffle_bytes_fetched += shard.size_bytes
                 self.counters.blocks_fetched += 1
-                self._account_flow(
-                    status.host, runtime.host, shard.size_bytes,
-                    shuffle_id=dep.shuffle_id,
-                    recovery=runtime.task.recovery,
-                )
+                if retry_enabled:
+                    flows.append(
+                        context.sim.spawn(
+                            self._fetch_with_retry(
+                                runtime, dep, status.host, shard.size_bytes
+                            ),
+                            name=(
+                                f"fetch-retry:s{dep.shuffle_id}"
+                                f"m{status.map_index}r{reduce_index}"
+                            ),
+                        )
+                    )
+                else:
+                    flows.append(
+                        context.fabric.transfer(
+                            status.host, runtime.host, shard.size_bytes,
+                            tag="shuffle",
+                        )
+                    )
+                    self._account_flow(
+                        status.host, runtime.host, shard.size_bytes,
+                        shuffle_id=dep.shuffle_id,
+                        recovery=runtime.task.recovery,
+                    )
         if local_bytes > 0:
             yield context.sim.timeout(
                 context.config.disk.read_time(local_bytes)
@@ -200,8 +217,47 @@ class ShuffleBackend:
             runtime.bytes_read_local += local_bytes
             self.counters.note_local_read(local_bytes)
         if flows:
+            # With retries these are sub-processes; a FetchFailedError
+            # raised by one (data gone mid-retry) fails the all_of and
+            # propagates to this reducer exactly like the legacy raise.
             yield context.sim.all_of(flows)
         return records
+
+    def _fetch_with_retry(
+        self,
+        runtime: "TaskRuntime",
+        dep: "ShuffleDependency",
+        src_host: str,
+        size_bytes: float,
+    ):
+        """One remote shard's deadline-raced, re-issued fetch (see
+        :func:`repro.failures.health.transfer_with_retry`).  Counters
+        stay in lockstep with the traffic monitor: each issued flow is
+        accounted in full, each cancelled one refunds exactly its
+        undelivered remainder."""
+        context = self.context
+        recovery = runtime.task.recovery
+
+        def check() -> None:
+            if not context.map_output_tracker.is_complete(dep.shuffle_id):
+                raise FetchFailedError(shuffle_id=dep.shuffle_id)
+
+        yield from transfer_with_retry(
+            context,
+            [src_host],
+            runtime.host,
+            size_bytes,
+            tag="shuffle",
+            on_issue=lambda src: self._account_flow(
+                src, runtime.host, size_bytes,
+                shuffle_id=dep.shuffle_id, recovery=recovery,
+            ),
+            on_cancel=lambda src, undelivered: self._account_flow(
+                src, runtime.host, -undelivered,
+                shuffle_id=dep.shuffle_id, recovery=recovery,
+            ),
+            check=check,
+        )
 
     # ------------------------------------------------------------------
     # Transfer boundaries (the push path's unit of data movement)
@@ -231,19 +287,44 @@ class ShuffleBackend:
             # so the DAG scheduler resubmits the producer from lineage.
             raise FetchFailedError(transfer_id=dep.transfer_id)
         if staged.host != runtime.host and staged.size_bytes > 0:
-            flow = self.context.fabric.transfer(
-                staged.host, runtime.host, staged.size_bytes, tag="transfer_to"
-            )
-            # Account at flow creation, not completion: if this attempt
-            # is interrupted (executor crash) the fabric still carries
-            # the flow to completion, and the counters must agree with
-            # the traffic monitor byte-for-byte.
             runtime.bytes_transferred_in += staged.size_bytes
-            self._account_flow(
-                staged.host, runtime.host, staged.size_bytes,
-                recovery=runtime.task.recovery,
-            )
-            yield flow
+            recovery = runtime.task.recovery
+            if self.context.config.health.flow_retry_enabled:
+                tracker = self.context.transfer_tracker
+
+                def check() -> None:
+                    if tracker.try_get(dep.transfer_id, index) is None:
+                        raise FetchFailedError(transfer_id=dep.transfer_id)
+
+                yield from transfer_with_retry(
+                    self.context,
+                    [staged.host],
+                    runtime.host,
+                    staged.size_bytes,
+                    tag="transfer_to",
+                    on_issue=lambda src: self._account_flow(
+                        src, runtime.host, staged.size_bytes,
+                        recovery=recovery,
+                    ),
+                    on_cancel=lambda src, undelivered: self._account_flow(
+                        src, runtime.host, -undelivered, recovery=recovery,
+                    ),
+                    check=check,
+                )
+            else:
+                flow = self.context.fabric.transfer(
+                    staged.host, runtime.host, staged.size_bytes,
+                    tag="transfer_to",
+                )
+                # Account at flow creation, not completion: if this
+                # attempt is interrupted (executor crash) the fabric
+                # still carries the flow to completion, and the counters
+                # must agree with the traffic monitor byte-for-byte.
+                self._account_flow(
+                    staged.host, runtime.host, staged.size_bytes,
+                    recovery=recovery,
+                )
+                yield flow
         return list(staged.records)
 
     # ------------------------------------------------------------------

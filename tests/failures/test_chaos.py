@@ -50,11 +50,39 @@ def test_parse_degrade_factor_only_defaults_duration():
         "degrade:dc-a->dc-b@5x0",  # factor out of (0, 1]
         "degrade:dc-a->dc-b@5x2",
         "crash:dc-a-w0@-1",  # negative time
+        "crash:dc-a-w0@inf",  # non-finite time
+        "crash:dc-a-w0@nan",
+        "degrade:dc-a->dc-b@5x-0.5",  # negative factor
+        "degrade:dc-a->dc-b@5xinf",  # non-finite factor
+        "degrade:dc-a->dc-b@5xnan",
+        "degrade:dc-a->dc-b@5x0.5+-3",  # negative duration
+        "degrade:dc-a->dc-b@5x0.5+inf",  # non-finite duration
+        "degrade:dc-a->dc-b@5x0.5+later",  # duration not a number
+        "degrade:dc-a->dc-b@5xbogus",  # factor not a number
     ],
 )
 def test_bad_specs_raise(spec):
     with pytest.raises(ConfigurationError):
         ChaosSchedule.parse_event(spec)
+
+
+@pytest.mark.parametrize(
+    ("spec", "token"),
+    [
+        ("crash:dc-a-w0@soon", "'soon'"),  # the non-numeric time token
+        ("degrade:dc-a->dc-b@5xbogus", "'bogus'"),
+        ("degrade:dc-a->dc-b@5x0.5+later", "'later'"),
+        ("warp:dc-a-w0@5", "'warp'"),
+        ("degrade:dc-a->dc-b@5x3", "3.0"),  # out-of-range factor value
+        ("crash:dc-a-w0@inf", "inf"),
+    ],
+)
+def test_bad_spec_errors_name_the_offending_token(spec, token):
+    """A malformed ``--chaos`` spec must fail with a message that points
+    at the exact token, not a generic parse error."""
+    with pytest.raises(ConfigurationError) as excinfo:
+        ChaosSchedule.parse_event(spec)
+    assert token in str(excinfo.value)
 
 
 def test_from_specs_builds_validated_schedule():

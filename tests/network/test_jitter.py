@@ -121,6 +121,33 @@ def test_start_is_idempotent():
     jitter.stop()
 
 
+def test_degrade_survives_jitter_resample():
+    """A chaos degrade factor persists across jitter ticks.
+
+    Regression: jitter used to walk the *effective* capacity and clamp
+    it back into [low, high], silently erasing any degrade within one
+    period — so ``degrade`` chaos was a no-op on jittered clusters.
+    """
+    sim, topo, fabric = build()
+    link = topo.wan_link("A", "B")
+    spec = JitterSpec(low=80 * MBPS, high=300 * MBPS, period=1.0)
+    jitter = BandwidthJitter(
+        sim, fabric, topo.wan_links(), spec, RandomSource(3)
+    )
+    jitter.start()
+    fabric.set_link_degrade(link, 0.01)
+    sim.run(until=10)
+    # Ten resamples later the effective capacity still carries the
+    # degrade: 1% of a nominal value inside the jitter band.
+    assert link.degrade_factor == pytest.approx(0.01)
+    assert spec.low <= link.nominal_capacity <= spec.high
+    assert link.capacity == pytest.approx(link.nominal_capacity * 0.01)
+    assert link.capacity < spec.low
+    fabric.set_link_degrade(link, 1.0)
+    assert link.capacity == pytest.approx(link.nominal_capacity)
+    jitter.stop()
+
+
 def test_static_bandwidth_pins_capacity():
     _sim, topo, _fabric = build()
     StaticBandwidth(topo.wan_links(), 123 * MBPS)
