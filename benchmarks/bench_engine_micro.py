@@ -8,13 +8,20 @@ compared against the legacy global re-solve path; the before/after
 numbers land in ``results/engine_micro.txt``).
 """
 
+import os
 import time
 
-from benchmarks.matrix_cache import emit
+from benchmarks.matrix_cache import emit, emit_json
 from repro.network.fabric import NetworkFabric
 from repro.network.topology import GBPS, MBPS, Topology
 from repro.simulation import Simulator
 from tests.conftest import make_context
+
+# CI perf-smoke mode: shrink the churn matrix and only require that the
+# vector drive is not slower than the incremental one (absolute ratios
+# are too noisy on shared runners; a regression that loses the ordering
+# entirely still fails).
+_SMOKE = os.environ.get("REPRO_SMOKE", "0") not in ("", "0")
 
 
 def test_kernel_event_throughput(benchmark):
@@ -65,9 +72,9 @@ def test_small_job_end_to_end(benchmark):
 
 
 # ---------------------------------------------------------------------------
-# Fair-share fabric under churn: incremental vs global re-solve
+# Fair-share fabric under churn: vector vs incremental vs global drives
 # ---------------------------------------------------------------------------
-def _build_pairs_fabric(num_pairs, incremental):
+def _build_pairs_fabric(num_pairs, drive):
     """Disjoint DC pairs — one fair-share component per pair."""
     sim = Simulator()
     topo = Topology()
@@ -83,27 +90,35 @@ def _build_pairs_fabric(num_pairs, incremental):
         topo.connect_datacenters(
             f"P{pair}a", f"P{pair}b", 100 * MBPS, latency=0.0
         )
-    fabric = NetworkFabric(sim, topo, incremental=incremental)
+    fabric = NetworkFabric(sim, topo, drive=drive)
     return sim, topo, fabric
 
 
-def _run_churn(incremental, num_pairs=20, flows_per_pair=26):
-    """520 concurrent flows; staggered sizes so departures churn."""
-    sim, _topo, fabric = _build_pairs_fabric(num_pairs, incremental)
+def _run_churn(drive, num_pairs=20, flows_per_pair=26):
+    """num_pairs x flows_per_pair concurrent flows; staggered sizes so
+    departures churn (all sizes distinct -> one departure instant each).
+
+    The returned wall time covers ``sim.run()`` only — every solve,
+    departure, and event is in there, while the topology construction
+    and admission calls (identical code across drives) are not.
+    """
+    sim, _topo, fabric = _build_pairs_fabric(num_pairs, drive)
     for pair in range(num_pairs):
         for index in range(flows_per_pair):
             size = 1e6 * (1 + index) + pair * 2.5e4
             fabric.transfer(f"P{pair}a0", f"P{pair}b0", size)
+    started = time.perf_counter()
     sim.run()
+    wall = time.perf_counter() - started
     assert fabric.active_flow_count == 0
     assert len(fabric.completed_flows) == num_pairs * flows_per_pair
-    return sim.now, fabric.perf
+    return wall, sim.now, fabric.perf
 
 
 def test_fabric_churn_incremental(benchmark):
     """Track the incremental engine's absolute cost under churn."""
-    final, perf = benchmark.pedantic(
-        lambda: _run_churn(incremental=True), rounds=1, iterations=1
+    _wall, final, perf = benchmark.pedantic(
+        lambda: _run_churn(drive="incremental"), rounds=1, iterations=1
     )
     assert perf.peak_active_flows >= 500
     # Departure solves stay scoped to one pair's component.
@@ -111,52 +126,117 @@ def test_fabric_churn_incremental(benchmark):
 
 
 def test_fabric_churn_speedup_report():
-    """The headline claim: component-scoped re-solves beat the global
-    path by >= 3x on 500+ churning flows, with identical results."""
+    """The headline claims, measured in one pass with identical results:
+
+    * incremental (component-scoped re-solves) >= 3x over the global
+      re-everything drive;
+    * vector (cascade plans, zero re-solves between perturbations)
+      >= 5x over the incremental drive.
+
+    ``REPRO_SMOKE=1`` shrinks the matrix and only checks the ordering —
+    the CI perf-smoke step fails when the vector drive is *slower* than
+    the incremental oracle drive.
+    """
+    num_pairs, flows_per_pair = (6, 10) if _SMOKE else (20, 26)
+    drives = ("global", "incremental", "vector")
     seconds = {}
     perfs = {}
     finals = {}
-    for incremental in (False, True):
-        started = time.perf_counter()
-        finals[incremental], perfs[incremental] = _run_churn(incremental)
-        seconds[incremental] = time.perf_counter() - started
-    # Same simulated outcome either way (max-min allocation is unique;
-    # the two drives accumulate float error in different orders).
-    assert abs(finals[True] - finals[False]) <= 1e-9 * finals[False]
-    speedup = seconds[False] / seconds[True]
+    _run_churn("vector", num_pairs, flows_per_pair)  # warm caches/JIT-free
+    for drive in drives:
+        # Best-of-N tames scheduler noise (results are deterministic
+        # across repetitions); the cheap drives get more repetitions.
+        walls = []
+        for _rep in range(2 if drive == "global" else 7):
+            wall, finals[drive], perfs[drive] = _run_churn(
+                drive, num_pairs, flows_per_pair
+            )
+            walls.append(wall)
+        seconds[drive] = min(walls)
+    # Same simulated outcome on every drive (max-min allocation is
+    # unique; the drives accumulate float error in different orders).
+    for drive in ("incremental", "vector"):
+        assert abs(finals[drive] - finals["global"]) <= (
+            1e-9 * finals["global"]
+        )
+    incr_speedup = seconds["global"] / seconds["incremental"]
+    vector_speedup = seconds["incremental"] / seconds["vector"]
 
-    def row(label, incremental):
-        perf = perfs[incremental]
+    def row(label, drive):
+        perf = perfs[drive]
         return (
-            f"{label:<22}{seconds[incremental]:>9.2f} s"
+            f"{label:<22}{seconds[drive] * 1e3:>9.1f} ms"
             f"{perf.solves:>9.0f}{perf.flows_touched:>15.0f}"
             f"{perf.mean_flows_per_solve:>13.1f}"
             f"{perf.solver_seconds * 1e3:>13.1f} ms"
         )
 
+    total = num_pairs * flows_per_pair
     lines = [
-        "Fabric microbenchmark — 520 churning flows on 20 disjoint DC "
-        "pairs",
+        f"Fabric microbenchmark — {total} churning flows on "
+        f"{num_pairs} disjoint DC pairs",
         "(arrivals coalesce at t=0; every departure perturbs its "
         "component)",
         "",
         f"{'drive':<22}{'wall':>11}{'solves':>9}{'flows touched':>15}"
         f"{'mean/solve':>13}{'solver':>16}",
-        row("global re-solve", False),
-        row("incremental", True),
+        row("global re-solve", "global"),
+        row("incremental", "incremental"),
+        row("vector (cascade)", "vector"),
         "",
-        f"speedup (wall): {speedup:.1f}x   "
-        f"flows-touched ratio: "
-        f"{perfs[False].flows_touched / perfs[True].flows_touched:.1f}x",
+        f"incremental/global speedup: {incr_speedup:.1f}x   "
+        f"vector/incremental speedup: {vector_speedup:.1f}x",
+        f"flows-per-wall-second (vector): {total / seconds['vector']:,.0f}",
     ]
     emit("engine_micro.txt", lines)
-    assert speedup >= 3.0, f"expected >= 3x, got {speedup:.2f}x"
+    emit_json(
+        "BENCH_engine_micro.json",
+        {
+            "scenario": {
+                "num_pairs": num_pairs,
+                "flows_per_pair": flows_per_pair,
+                "total_flows": total,
+                "smoke": _SMOKE,
+            },
+            "drives": {
+                drive: {
+                    "wall_seconds": seconds[drive],
+                    "solves": perfs[drive].solves,
+                    "flows_touched": perfs[drive].flows_touched,
+                    "mean_flows_per_solve": (
+                        perfs[drive].mean_flows_per_solve
+                    ),
+                    "solver_seconds": perfs[drive].solver_seconds,
+                    "events": perfs[drive].events,
+                    "final_time": finals[drive],
+                }
+                for drive in drives
+            },
+            "speedups": {
+                "incremental_over_global": incr_speedup,
+                "vector_over_incremental": vector_speedup,
+                "vector_over_global": seconds["global"] / seconds["vector"],
+            },
+        },
+    )
+    if _SMOKE:
+        assert vector_speedup >= 1.0, (
+            f"vector drive slower than incremental oracle: "
+            f"{vector_speedup:.2f}x"
+        )
+    else:
+        assert incr_speedup >= 3.0, (
+            f"expected >= 3x, got {incr_speedup:.2f}x"
+        )
+        assert vector_speedup >= 5.0, (
+            f"expected >= 5x, got {vector_speedup:.2f}x"
+        )
 
 
 def test_fabric_jitter_on_idle_links(benchmark):
     """Jitter on links carrying zero flows must not reach the solver."""
     def run():
-        sim, topo, fabric = _build_pairs_fabric(40, incremental=True)
+        sim, topo, fabric = _build_pairs_fabric(40, drive="incremental")
         fabric.transfer("P0a0", "P0b0", 50e6)
         sim.run(until=0.1)
         idle = [

@@ -13,18 +13,24 @@ Environment knobs:
 * ``REPRO_JOBS``       — worker processes for the run matrix (cells are
   independent seeded simulations; parallel output is identical to the
   sequential run).  Unset or <= 1 runs sequentially.
+* ``REPRO_SHARDED``    — non-zero routes the matrix through
+  :func:`repro.experiments.runner.run_matrix_sharded`: contiguous cell
+  shards per worker plus parent-side dataset generation shipped to the
+  workers, still byte-identical to the sequential run.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.experiments.runner import (
     ExperimentPlan,
     RunResult,
     run_matrix_parallel,
+    run_matrix_sharded,
 )
 from repro.experiments.schemes import PAPER_SCHEMES
 from repro.workloads import all_workloads
@@ -57,7 +63,12 @@ def get_matrix(seeds: Sequence[int] | None = None) -> List[RunResult]:
     if key not in _matrix_cache:
         plan = ExperimentPlan(seeds=seed_tuple)
         # jobs=None honours REPRO_JOBS; <= 1 runs sequentially.
-        _matrix_cache[key] = run_matrix_parallel(
+        runner = (
+            run_matrix_sharded
+            if os.environ.get("REPRO_SHARDED", "0") not in ("", "0")
+            else run_matrix_parallel
+        )
+        _matrix_cache[key] = runner(
             selected_workloads(), list(PAPER_SCHEMES), plan, jobs=None
         )
     return _matrix_cache[key]
@@ -78,3 +89,12 @@ def emit(filename: str, lines: Sequence[str]) -> None:
     for line in lines:
         print(line)
     write_report(filename, lines)
+
+
+def emit_json(filename: str, payload: Any) -> Path:
+    """Persist a machine-readable benchmark artifact alongside the text
+    report (stable key order so diffs stay reviewable)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -288,6 +288,18 @@ def build_parser() -> argparse.ArgumentParser:
             "Analytics' (ICDCS 2017)"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const=25,
+        type=int,
+        default=None,
+        metavar="N",
+        help="profile the command under cProfile and print the top N "
+        "functions by cumulative time (default 25) after the normal "
+        "output — pair with the fabric perf counters to localise "
+        "simulator hot spots",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("run", help="run one workload/scheme cell")
@@ -354,7 +366,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.profile is None:
+        return args.func(args)
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = args.func(args)
+    finally:
+        profiler.disable()
+        print(f"\ncProfile — top {args.profile} by cumulative time")
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        stats.print_stats(args.profile)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.builder import ClusterSpec, ec2_six_region_spec
@@ -274,3 +274,128 @@ def run_matrix_parallel(
     ]
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         return list(pool.map(_run_cell, cells))
+
+
+# ---------------------------------------------------------------------------
+# Sharded harness: contiguous cell shards + pre-filled dataset caches
+# ---------------------------------------------------------------------------
+def _prefill_worker_cache(entries: Dict[Tuple[str, int], List[List[Any]]]) -> None:
+    """Pool initializer: seed the worker's dataset cache.
+
+    The parent generates every dataset the matrix needs exactly once and
+    ships the cache to each worker at startup, so no worker ever pays
+    dataset generation again — with per-cell fan-out each fresh worker
+    regenerates the data for its first cell of every (workload, seed).
+    """
+    _DATA_CACHE.update(entries)
+
+
+def _run_shard(
+    shard: Sequence[Tuple[str, Scheme, int, ExperimentPlan]],
+) -> List[RunResult]:
+    """Worker entry point: run a contiguous slice of the cell list."""
+    from repro.workloads import workload_by_name
+
+    return [
+        run_workload_once(workload_by_name(name), scheme, seed, plan)
+        for name, scheme, seed, plan in shard
+    ]
+
+
+def _chaos_variants(
+    plan: ExperimentPlan, chaos: Optional[Sequence[Any]]
+) -> List[ExperimentPlan]:
+    """Expand the optional chaos axis into per-schedule plan variants."""
+    if chaos is None:
+        return [plan]
+    base = plan.base_config
+    if base is None:
+        base = SimulationConfig()
+    return [
+        replace(plan, base_config=base.with_chaos(schedule))
+        for schedule in chaos
+    ]
+
+
+def run_matrix_sharded(
+    workloads: Sequence[Workload],
+    schemes: Sequence[Scheme],
+    plan: Optional[ExperimentPlan] = None,
+    jobs: Optional[int] = None,
+    shards: Optional[int] = None,
+    chaos: Optional[Sequence[Any]] = None,
+) -> List[RunResult]:
+    """:func:`run_matrix` over contiguous shards with shared data caches.
+
+    Differences from :func:`run_matrix_parallel`:
+
+    * the (workload x scheme [x chaos] x seed) cell list is split into
+      ``shards`` **contiguous** slices (default: one per worker), so a
+      worker amortises its process-local caches across a whole slice
+      instead of paying one pickling round-trip per cell;
+    * the parent pre-generates every dataset the matrix needs (via the
+      same :func:`generated_input` cache) and ships the cache to each
+      worker through the pool initializer — dataset generation runs
+      exactly once per (workload, data seed) across the whole sweep;
+    * an optional ``chaos`` axis (a sequence of
+      :class:`~repro.failures.chaos.ChaosSchedule` or ``None`` entries)
+      expands the matrix to seed x scheme x chaos without callers
+      hand-rolling plan variants.
+
+    Cells remain independent seeded simulations, so the output is
+    byte-identical to the sequential runner, in the same
+    workload -> scheme -> chaos -> seed order.  ``jobs`` <= 1 runs the
+    expanded matrix sequentially (same order, same results).
+    """
+    plan = plan if plan is not None else ExperimentPlan()
+    plans = _chaos_variants(plan, chaos)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1:
+        return [
+            run_workload_once(workload, scheme, seed, variant)
+            for workload in workloads
+            for scheme in schemes
+            for variant in plans
+            for seed in variant.seeds
+        ]
+    cells = [
+        (workload.name, scheme, seed, variant)
+        for workload in workloads
+        for scheme in schemes
+        for variant in plans
+        for seed in variant.seeds
+    ]
+    if not cells:
+        return []
+    # Pre-generate every dataset once, in the parent.
+    entries: Dict[Tuple[str, int], List[List[Any]]] = {}
+    for workload in workloads:
+        for variant in plans:
+            data_seeds = (
+                (variant.fixed_data_seed,)
+                if variant.fixed_data_seed is not None
+                else tuple(variant.seeds)
+            )
+            for data_seed in data_seeds:
+                key = (workload.name, data_seed)
+                if key not in entries:
+                    entries[key] = generated_input(workload, data_seed)
+    if shards is None:
+        shards = jobs
+    shards = max(1, min(shards, len(cells)))
+    base_size, extra = divmod(len(cells), shards)
+    slices: List[List[Tuple[str, Scheme, int, ExperimentPlan]]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base_size + (1 if index < extra else 0)
+        slices.append(cells[start:stop])
+        start = stop
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_prefill_worker_cache,
+        initargs=(entries,),
+    ) as pool:
+        return [
+            result for shard in pool.map(_run_shard, slices) for result in shard
+        ]

@@ -12,20 +12,29 @@ to max-min fairness; rates are recomputed whenever
 
 Between recomputations every flow progresses linearly at its current rate.
 
-Two solver drives exist:
+Three solver drives exist:
 
-* **incremental** (default) — the :class:`repro.network.incremental.
-  IncrementalFairShare` engine re-solves only the connected component of
-  flows and links an event touches, charges progress lazily per flow,
-  and keeps projected completions in a deadline heap, so the per-event
-  cost scales with the component, not the population;
-* **global** (``incremental=False``) — the original from-scratch re-solve
-  of every active flow on every event, kept as the baseline for the
-  equivalence tests and the speedup microbenchmarks.
+* **vector** (default) — on each perturbation the affected components'
+  entire departure schedules are precomputed as
+  :class:`~repro.network.cascade.CascadePlan`\\ s (numpy closed form for
+  uniform-route components, CSR progressive filling otherwise);
+  departures then fire as bare precomputed timers with **zero**
+  re-solves, and a later perturbation replays the plan to recover each
+  member's exact remaining bytes;
+* **incremental** (``incremental=True`` / ``drive="incremental"``) —
+  the PR 1 :class:`repro.network.incremental.IncrementalFairShare`
+  engine re-solves only the connected component of flows and links an
+  event touches, charges progress lazily per flow, and keeps projected
+  completions in a deadline heap, so the per-event cost scales with the
+  component, not the population;
+* **global** (``incremental=False`` / ``drive="global"``) — the
+  original from-scratch re-solve of every active flow on every event,
+  kept as the baseline for the equivalence tests and the speedup
+  microbenchmarks.
 
-Both produce the same (unique) max-min allocation; same-instant flow
-arrivals and capacity changes are coalesced into a single solve.  Stale
-wake-ups are detected with a version counter and ignored.
+All three produce the same (unique) max-min allocation; same-instant
+flow arrivals and capacity changes are coalesced into a single solve.
+Stale wake-ups are detected with a version counter and ignored.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.metrics.perf import FabricPerfCounters
+from repro.network.cascade import CascadePlan, build_plan
 from repro.network.fair_share import max_min_fair_rates
 from repro.network.incremental import IncrementalFairShare
 from repro.network.topology import Link, Topology
@@ -66,6 +76,7 @@ class Flow:
         "size_bytes",
         "remaining",
         "route",
+        "latency",
         "tag",
         "completion",
         "rate",
@@ -82,6 +93,7 @@ class Flow:
         dst_host: str,
         size_bytes: float,
         route: List[Link],
+        latency: float,
         tag: str,
         completion: Event,
         started_at: float,
@@ -92,6 +104,8 @@ class Flow:
         self.size_bytes = float(size_bytes)
         self.remaining = float(size_bytes)
         self.route = route
+        # Total propagation latency of the route, precomputed once.
+        self.latency = latency
         self.tag = tag
         self.completion = completion
         self.rate = 0.0
@@ -120,18 +134,32 @@ class NetworkFabric:
         topology: Topology,
         monitor: Optional[TrafficMonitor] = None,
         wan_flow_cap: Optional[float] = None,
-        incremental: bool = True,
+        incremental: Optional[bool] = None,
+        drive: Optional[str] = None,
     ) -> None:
         """``wan_flow_cap`` bounds any single WAN-crossing flow's rate
         (bytes/second), modelling TCP throughput over high-RTT paths —
         a single stream cannot fill an inter-region link even when the
-        link itself is idle.  ``incremental=False`` selects the legacy
-        global re-solve drive (baseline for benchmarks/tests)."""
+        link itself is idle.
+
+        ``drive`` selects the solver drive (``"vector"`` when omitted);
+        the legacy ``incremental`` flag keeps working as shorthand for
+        ``drive="incremental"`` / ``drive="global"``.
+        """
+        if drive is None:
+            if incremental is None:
+                drive = "vector"
+            else:
+                drive = "incremental" if incremental else "global"
+        if drive not in ("vector", "incremental", "global"):
+            raise ValueError(f"unknown fabric drive: {drive!r}")
         self.sim = sim
         self.topology = topology
         self.monitor = monitor if monitor is not None else TrafficMonitor()
         self.wan_flow_cap = wan_flow_cap
         self.perf = FabricPerfCounters()
+        self.drive = drive
+        incremental = drive != "global"
         self._incremental = incremental
         # link name -> health-advised capacity ceiling (circuit-breaker
         # hints); shared by reference with the incremental engine so a
@@ -156,8 +184,11 @@ class NetworkFabric:
         self._dirty_flows: Set[int] = set()
         self._dirty_links: Set[str] = set()
         self._dirty_all = False
-        # Deadline heap of (projected finish, flow id, epoch).
+        # Deadline heap of (projected finish, flow id, epoch) —
+        # incremental drive only.
         self._deadlines: List[Tuple[float, int, int]] = []
+        # flow id -> its live CascadePlan — vector drive only.
+        self._plans: Dict[int, CascadePlan] = {}
         self.completed_flows: List[Flow] = []
 
     # ------------------------------------------------------------------
@@ -180,7 +211,7 @@ class NetworkFabric:
             raise ValueError(f"negative transfer size: {size_bytes}")
         flow_id = next(self._flow_ids)
         route = self.topology.route(src_host, dst_host)
-        latency = sum(link.latency for link in route)
+        latency = self.topology.route_latency(src_host, dst_host)
         completion = self.sim.event(name=f"flow{flow_id}:done")
         flow = Flow(
             flow_id,
@@ -188,6 +219,7 @@ class NetworkFabric:
             dst_host,
             size_bytes,
             route,
+            latency,
             tag,
             completion,
             started_at=self.sim.now,
@@ -214,7 +246,10 @@ class NetworkFabric:
 
     def active_flows(self) -> List[Flow]:
         """The in-flight flows, with ``remaining`` charged up to now."""
-        if self._engine is not None:
+        if self.drive == "vector":
+            for flow in self._flows.values():
+                self._sync_flow(flow)
+        elif self._engine is not None:
             for flow in self._flows.values():
                 self._charge(flow)
         return list(self._flows.values())
@@ -222,7 +257,11 @@ class NetworkFabric:
     def current_rate(self, flow_event: Event) -> float:
         """The instantaneous rate of the flow owning ``flow_event``."""
         flow = self._flow_by_event.get(flow_event)
-        return flow.rate if flow is not None else 0.0
+        if flow is None:
+            return 0.0
+        if self.drive == "vector":
+            self._sync_flow(flow)
+        return flow.rate
 
     def notify_capacity_change(
         self, changed_links: Optional[Iterable[Link]] = None
@@ -305,7 +344,20 @@ class NetworkFabric:
         flow = self._flow_by_event.get(flow_event)
         if flow is None:
             return None
-        if self._engine is not None:
+        if self.drive == "vector":
+            # Replay the plan up to now for the exact delivered bytes,
+            # then invalidate it: the survivors' schedules change once
+            # the cancelled flow's share frees up, so they re-enter the
+            # next resolve as dirty seeds.
+            self._sync_flow(flow)
+            plan = self._plans.get(flow.flow_id)
+            if plan is not None:
+                self._invalidate_plan(plan)
+                self._dirty_flows.update(
+                    fid for fid in plan.flow_ids if fid in self._flows
+                )
+                self._dirty_flows.discard(flow.flow_id)
+        elif self._engine is not None:
             self._charge(flow)
         else:
             self._advance_progress()
@@ -360,6 +412,8 @@ class NetworkFabric:
         if self._engine is None:
             self._advance_progress()
             self._reschedule_global()
+        elif self.drive == "vector":
+            self._resolve_dirty_vector()
         else:
             self._resolve_dirty()
 
@@ -379,6 +433,158 @@ class NetworkFabric:
             flow.completion.succeed(flow)
 
     # ------------------------------------------------------------------
+    # Vector drive (cascade plans)
+    # ------------------------------------------------------------------
+    def _sync_flow(self, flow: Flow) -> None:
+        """Refresh ``remaining``/``rate`` from the flow's live plan.
+
+        The vector drive never touches Flow objects between
+        perturbations (their state lives in the plan arrays), so every
+        external read goes through this replay.
+        """
+        plan = self._plans.get(flow.flow_id)
+        if plan is None or not plan.alive:
+            return
+        now = self.sim.now
+        pos = plan.pos_of[flow.flow_id]
+        flow.remaining = plan.remaining_at(pos, now)
+        flow.rate = plan.rate_at(pos, now)
+        flow.charged_at = now
+
+    def _invalidate_plan(self, plan: CascadePlan) -> None:
+        """Kill a plan: lazily cancel its timers and replay every
+        still-active member up to now so ``remaining`` is exact before
+        the re-plan."""
+        if not plan.alive:
+            return
+        plan.alive = False
+        for handle in plan.timers:
+            handle.cancel()
+        now = self.sim.now
+        for pos, flow_id in enumerate(plan.flow_ids):
+            flow = self._flows.get(flow_id)
+            if flow is None:
+                continue
+            flow.remaining = plan.remaining_at(pos, now)
+            flow.rate = plan.rate_at(pos, now)
+            flow.charged_at = now
+            if self._plans.get(flow_id) is plan:
+                del self._plans[flow_id]
+
+    def _resolve_dirty_vector(self) -> None:
+        """Invalidate perturbed plans, retire drained flows, and build
+        fresh cascade plans per connected component."""
+        engine = self._engine
+        assert engine is not None
+        if self._dirty_all:
+            self._dirty_links |= engine.refresh_capacities()
+            self._dirty_all = False
+        dirty_flows, self._dirty_flows = self._dirty_flows, set()
+        dirty_links, self._dirty_links = self._dirty_links, set()
+        started = time.perf_counter()
+        # Seed set only (no union BFS — each component is discovered
+        # exactly once during partitioning below).
+        seeds = {f for f in dirty_flows if f in self._flows}
+        for name in dirty_links:
+            seeds.update(engine.flows_on(name))
+        # A plan may span flows a component BFS no longer reaches (the
+        # component split mid-plan); the whole plan dies, so all its
+        # still-active members get re-planned too.
+        for plan in {
+            self._plans[flow_id] for flow_id in seeds if flow_id in self._plans
+        }:
+            members = [f for f in plan.flow_ids if f in self._flows]
+            self._invalidate_plan(plan)
+            seeds.update(members)
+        if not seeds:
+            return
+        # One plan per connected component; sorted worklist iteration
+        # keeps plan construction (and therefore timer sequence
+        # numbers) fully deterministic.
+        visited: Set[int] = set()
+        now = self.sim.now
+        worklist = sorted(seeds)
+        cursor = 0
+        while cursor < len(worklist):
+            seed = worklist[cursor]
+            cursor += 1
+            if seed in visited or seed not in self._flows:
+                continue
+            component = engine.component((seed,), ())
+            visited |= component
+            # Invalidate plans of flows pulled in via connectivity that
+            # were not dirty seeds themselves (charges them to now).
+            # Such a plan may span members this component BFS cannot
+            # reach (it split mid-plan) — queue them for re-planning.
+            for plan in {
+                self._plans[f] for f in component if f in self._plans
+            }:
+                for flow_id in plan.flow_ids:
+                    if (
+                        flow_id not in component
+                        and flow_id not in visited
+                        and flow_id in self._flows
+                    ):
+                        worklist.append(flow_id)
+                self._invalidate_plan(plan)
+            # Retire members that drained exactly by now (e.g. a
+            # capacity perturbation landing on a departure instant,
+            # before the departure timer fired within the same batch).
+            for flow_id in sorted(component):
+                flow = self._flows[flow_id]
+                if flow.remaining <= _drain_threshold(flow.size_bytes):
+                    component.discard(flow_id)
+                    self._depart(flow)
+            if not component:
+                continue
+            members = sorted(component)
+            remaining = [self._flows[f].remaining for f in members]
+            routes, capacities = engine.subproblem(members)
+            plan = build_plan(members, remaining, routes, capacities, now)
+            for pos, flow_id in enumerate(plan.flow_ids):
+                flow = self._flows[flow_id]
+                flow.rate = plan.initial_rate(pos)
+                flow.charged_at = now
+                flow.epoch += 1
+                self._plans[flow_id] = plan
+            for index, depart_time in enumerate(plan.depart_times()):
+                plan.timers.append(
+                    self.sim.call_at(
+                        depart_time,
+                        self._make_depart_timer(plan, index),
+                    )
+                )
+            self.perf.solves += 1
+            self.perf.flows_touched += len(members)
+        self.perf.solver_seconds += time.perf_counter() - started
+
+    def _make_depart_timer(self, plan: CascadePlan, segment: int):
+        """The departure callback for one plan segment boundary."""
+
+        def fire() -> None:
+            if not plan.alive:  # pragma: no cover - timers are cancelled
+                return
+            self.perf.events += 1
+            now = self.sim.now
+            flows = self._flows
+            plans = self._plans
+            flow_ids = plan.flow_ids
+            for pos in plan.departs[segment]:
+                flow_id = flow_ids[pos]
+                flow = flows.get(flow_id)
+                if flow is None:
+                    continue
+                flow.remaining = 0.0
+                flow.charged_at = now
+                if plans.get(flow_id) is plan:
+                    del plans[flow_id]
+                self._depart(flow)
+            # No re-solve: the plan already models the post-departure
+            # rates of every surviving member.
+
+        return fire
+
+    # ------------------------------------------------------------------
     # Incremental drive
     # ------------------------------------------------------------------
     def _charge(self, flow: Flow) -> None:
@@ -396,8 +602,7 @@ class NetworkFabric:
         del self._flow_by_event[flow.completion]
         assert self._engine is not None
         self._engine.remove_flow(flow.flow_id)
-        latency = sum(link.latency for link in flow.route)
-        self._finish_flow(flow, extra_delay=latency)
+        self._finish_flow(flow, extra_delay=flow.latency)
 
     def _resolve_dirty(self) -> None:
         """Charge, retire, and re-solve the dirty connected component."""
@@ -556,8 +761,7 @@ class NetworkFabric:
         for flow in drained:
             del self._flows[flow.flow_id]
             del self._flow_by_event[flow.completion]
-            latency = sum(link.latency for link in flow.route)
-            self._finish_flow(flow, extra_delay=latency)
+            self._finish_flow(flow, extra_delay=flow.latency)
 
         if not self._flows:
             self._wake_version += 1

@@ -10,6 +10,14 @@ The solver is pure (no simulation state), which makes it easy to
 property-test: rates never exceed capacity on any link, every flow is
 bottlenecked somewhere, and raising one flow's rate would require lowering
 a flow with an equal-or-smaller rate.
+
+Multi-traversal semantics: a route is a *sequence*, and a flow whose
+route lists the same link k times consumes ``k * rate`` of that link's
+capacity — the crossing count, the freeze step, and
+:func:`verify_allocation`'s usage accounting all charge per occurrence,
+so the three are mutually consistent.  (Think of a relay bouncing off
+the same WAN uplink twice.)  Callers that want plain set semantics
+should dedupe the route before handing it to the solver.
 """
 
 from __future__ import annotations
@@ -124,6 +132,10 @@ def verify_allocation(
     Used by the test suite; raises AssertionError with a diagnostic when
     the allocation overcommits a link or leaves a link that could still
     admit more traffic for every flow crossing it.
+
+    Usage is charged per route *occurrence*: a flow listing a link twice
+    contributes ``2 * rate`` to that link, matching the solver's
+    multi-traversal semantics (see the module docstring).
     """
     usage: Dict[LinkId, float] = {link_id: 0.0 for link_id in link_capacities}
     for flow_id, route in flow_routes.items():

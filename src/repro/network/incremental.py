@@ -103,7 +103,9 @@ class IncrementalFairShare:
         self._rates[flow_id] = 0.0
 
     def remove_flow(self, flow_id: FlowId) -> None:
-        for name in self._shared.pop(flow_id):
+        # dict.fromkeys dedupes while keeping order: a route may cross
+        # the same link twice, but the carrier set must be unwound once.
+        for name in dict.fromkeys(self._shared.pop(flow_id)):
             carriers = self._link_flows[name]
             carriers.discard(flow_id)
             if not carriers:
@@ -157,6 +159,24 @@ class IncrementalFairShare:
                         stack.append(other)
         return component
 
+    def subproblem(
+        self, flow_ids: Iterable[FlowId]
+    ) -> Tuple[Dict[FlowId, Tuple[str, ...]], Dict[str, float]]:
+        """The (routes, capacities) solver inputs restricted to
+        ``flow_ids`` — the constraint system the vector drive's cascade
+        planner consumes."""
+        routes = {flow_id: self._routes[flow_id] for flow_id in flow_ids}
+        capacities = {
+            name: self._capacities[name]
+            for names in routes.values()
+            for name in names
+        }
+        return routes, capacities
+
+    def flows_on(self, name: str) -> Iterable[FlowId]:
+        """The flows currently crossing link ``name`` (possibly none)."""
+        return self._link_flows.get(name, ())
+
     def solve(self, flow_ids: Set[FlowId]) -> None:
         """Re-solve exactly ``flow_ids`` (one or more full components)
         against the maintained capacity dict; other flows keep their
@@ -164,12 +184,7 @@ class IncrementalFairShare:
         if not flow_ids:
             return
         started = perf_counter()
-        routes = {flow_id: self._routes[flow_id] for flow_id in flow_ids}
-        capacities = {
-            name: self._capacities[name]
-            for names in routes.values()
-            for name in names
-        }
+        routes, capacities = self.subproblem(flow_ids)
         rates = max_min_fair_rates(routes, capacities)
         self._rates.update(rates)
         counters = self.counters

@@ -95,6 +95,8 @@ class Datacenter:
     remote regions are involved.
     """
 
+    __slots__ = ("name", "hosts", "wan_in", "wan_out")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.hosts: List["Host"] = []
@@ -111,6 +113,8 @@ class Datacenter:
 
 class Host:
     """A worker machine: access links plus identity within a datacenter."""
+
+    __slots__ = ("name", "datacenter", "uplink", "downlink")
 
     def __init__(self, name: str, datacenter: Datacenter, uplink: Link, downlink: Link) -> None:
         self.name = name
@@ -133,8 +137,13 @@ class Topology:
         # never paths), so they are computed once and memoized.  Any
         # construction call invalidates the cache.
         self._route_cache: Dict[Tuple[str, str], List[Link]] = {}
+        self._latency_cache: Dict[Tuple[str, str], float] = {}
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+
+    def _invalidate_routes(self) -> None:
+        self._route_cache.clear()
+        self._latency_cache.clear()
 
     # ------------------------------------------------------------------
     # Construction
@@ -144,7 +153,7 @@ class Topology:
             raise ConfigurationError(f"duplicate datacenter {name!r}")
         datacenter = Datacenter(name)
         self.datacenters[name] = datacenter
-        self._route_cache.clear()
+        self._invalidate_routes()
         return datacenter
 
     def add_host(
@@ -165,7 +174,7 @@ class Topology:
         host = Host(name, datacenter, uplink, downlink)
         datacenter.hosts.append(host)
         self.hosts[name] = host
-        self._route_cache.clear()
+        self._invalidate_routes()
         return host
 
     def connect_datacenters(
@@ -189,7 +198,7 @@ class Topology:
             self._wan_links[(dst_name, src_name)] = Link(
                 f"wan:{dst_name}->{src_name}", bandwidth, latency, is_wan=True
             )
-        self._route_cache.clear()
+        self._invalidate_routes()
 
     def set_gateway(
         self, datacenter_name: str, bandwidth: float, latency: float = 0.0
@@ -204,7 +213,7 @@ class Topology:
         datacenter.wan_in = Link(
             f"gw:{datacenter_name}:in", bandwidth, latency, is_wan=False
         )
-        self._route_cache.clear()
+        self._invalidate_routes()
 
     # ------------------------------------------------------------------
     # Queries
@@ -263,7 +272,14 @@ class Topology:
         return links
 
     def route_latency(self, src_host: str, dst_host: str) -> float:
-        return sum(link.latency for link in self.route(src_host, dst_host))
+        """Total propagation latency of the pair's route (memoized —
+        link latencies are immutable, so this never goes stale)."""
+        key = (src_host, dst_host)
+        latency = self._latency_cache.get(key)
+        if latency is None:
+            latency = sum(link.latency for link in self.route(src_host, dst_host))
+            self._latency_cache[key] = latency
+        return latency
 
     def is_cross_datacenter(self, src_host: str, dst_host: str) -> bool:
         return self.datacenter_of(src_host) != self.datacenter_of(dst_host)

@@ -1,0 +1,166 @@
+"""Vectorized max-min fair allocation over a CSR link-incidence matrix.
+
+This is the numpy twin of the scalar progressive-filling solver in
+:mod:`repro.network.fair_share`.  Flows and links are dense integer
+indices; a flow's route is a slice of the ``indices`` array (CSR
+layout: flow ``f`` traverses ``indices[indptr[f]:indptr[f+1]]``,
+multiplicity preserved — a route may cross the same link twice and
+then consumes capacity per traversal, exactly like the scalar solver).
+
+Each filling round is pure array work: the per-link *crossing count*
+is a ``bincount`` over the active flows' route entries, the bottleneck
+share is a masked minimum of ``residual / crossing``, saturation is a
+compare, and the flows frozen by a saturated link fall out of a
+``logical_or.reduceat`` over the route slices.  The scalar solver
+stays the property-tested oracle: :func:`max_min_fair_rates_numpy`
+must agree with it to 1e-9 relative on arbitrary topologies (see
+``tests/network/test_vector_solver.py``).
+
+The module also hosts the *cascade* kernel used by the fabric's vector
+drive: given the remaining bytes of every flow in a component, it
+plays the fluid model forward through successive departures entirely
+in numpy, producing the component's full departure schedule in one
+call — the event loop then fires precomputed completion timers instead
+of re-solving per departure (see :mod:`repro.network.cascade`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence, Tuple
+
+import numpy as np
+
+# Same tolerance family as the scalar solver.
+_EPSILON = 1e-12
+
+
+def progressive_fill(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    flow_of_entry: np.ndarray,
+    capacities: np.ndarray,
+    active: np.ndarray,
+) -> np.ndarray:
+    """Max-min rates for the ``active`` flows of one constraint system.
+
+    Args:
+        indices: concatenated link ids per flow (CSR data, multiplicity
+            preserved).  Every flow must have a non-empty route.
+        indptr: CSR offsets, ``len == num_flows + 1``.
+        flow_of_entry: flow id per position of ``indices`` (i.e.
+            ``np.repeat(arange(F), np.diff(indptr))``, precomputed by
+            the caller since it is reusable across calls).
+        capacities: per-link capacity array (bytes/second, > 0 for
+            every link referenced by an active flow).
+        active: boolean mask of flows to solve; inactive flows get rate
+            0 and consume nothing.
+
+    Returns:
+        rates array (num_flows,), zero for inactive flows.
+    """
+    num_links = len(capacities)
+    rates = np.zeros(len(indptr) - 1)
+    if not active.any():
+        return rates
+    active = active.copy()
+    entry_active = active[flow_of_entry]
+    crossing = np.bincount(
+        indices[entry_active], minlength=num_links
+    ).astype(float)
+    residual = capacities.astype(float, copy=True)
+    floor = _EPSILON * np.maximum(1.0, residual)
+    while True:
+        carried = crossing > 0.0
+        if not carried.any():
+            break
+        bottleneck = np.min(residual[carried] / crossing[carried])
+        rates[active] += bottleneck
+        residual -= bottleneck * crossing
+        np.maximum(residual, 0.0, out=residual)
+        saturated = residual <= floor
+        # A flow freezes when any link on its route saturates.  The
+        # reduceat runs over *all* flows (segments are non-empty by
+        # contract); the active mask scopes the result.
+        frozen = active & np.logical_or.reduceat(
+            saturated[indices], indptr[:-1]
+        )
+        if not frozen.any():
+            # Numerical corner: freeze everything at the minimum share
+            # to guarantee termination (cannot happen in exact
+            # arithmetic) — mirrors the scalar solver.
+            frozen = active.copy()
+        active &= ~frozen
+        if not active.any():
+            break
+        frozen_entries = frozen[flow_of_entry] & entry_active
+        crossing -= np.bincount(
+            indices[frozen_entries], minlength=num_links
+        )
+        entry_active &= ~frozen_entries
+        np.maximum(crossing, 0.0, out=crossing)
+    return rates
+
+
+def build_csr(
+    routes: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate per-flow link-id arrays into (indices, indptr, flow_of_entry)."""
+    lengths = np.fromiter(
+        (len(route) for route in routes), dtype=np.intp, count=len(routes)
+    )
+    indptr = np.zeros(len(routes) + 1, dtype=np.intp)
+    np.cumsum(lengths, out=indptr[1:])
+    if len(routes):
+        indices = np.concatenate(routes)
+    else:
+        indices = np.zeros(0, dtype=np.intp)
+    flow_of_entry = np.repeat(np.arange(len(routes), dtype=np.intp), lengths)
+    return indices, indptr, flow_of_entry
+
+
+def max_min_fair_rates_numpy(
+    flow_routes: Mapping[Hashable, Sequence[Hashable]],
+    link_capacities: Mapping[Hashable, float],
+) -> Dict[Hashable, float]:
+    """Drop-in vectorized equivalent of :func:`~repro.network.
+    fair_share.max_min_fair_rates` (same dict API, same semantics:
+    empty routes get ``inf``, capacity is consumed per traversal for
+    routes crossing a link more than once)."""
+    rates: Dict[Hashable, float] = {}
+    constrained = []
+    for flow_id, route in flow_routes.items():
+        if route:
+            constrained.append(flow_id)
+        else:
+            rates[flow_id] = float("inf")
+    if not constrained:
+        return rates
+
+    link_ids: Dict[Hashable, int] = {}
+    capacities = []
+    routes = []
+    for flow_id in constrained:
+        row = np.empty(len(flow_routes[flow_id]), dtype=np.intp)
+        for position, link in enumerate(flow_routes[flow_id]):
+            index = link_ids.get(link)
+            if index is None:
+                capacity = float(link_capacities[link])
+                if capacity <= 0:
+                    raise ValueError(f"link {link!r} has capacity <= 0")
+                index = len(link_ids)
+                link_ids[link] = index
+                capacities.append(capacity)
+            row[position] = index
+        routes.append(row)
+
+    indices, indptr, flow_of_entry = build_csr(routes)
+    solved = progressive_fill(
+        indices,
+        indptr,
+        flow_of_entry,
+        np.asarray(capacities),
+        np.ones(len(constrained), dtype=bool),
+    )
+    for position, flow_id in enumerate(constrained):
+        rates[flow_id] = float(solved[position])
+    return rates

@@ -23,12 +23,27 @@ _PENDING = object()
 class Event:
     """A one-shot synchronisation point on the simulation timeline."""
 
+    __slots__ = (
+        "sim",
+        "name",
+        "_value",
+        "_error",
+        "_callbacks",
+        "_processed",
+        "_cancelled",
+    )
+
     def __init__(self, sim: "Simulator", name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._value: Any = _PENDING
         self._error: Optional[BaseException] = None
         self._callbacks: List[Callable[["Event"], None]] = []
+        # Has the kernel already delivered this event's callbacks?
+        self._processed = False
+        # Lazy cancellation (see repro.simulation.timer_wheel): the
+        # kernel skips cancelled entries at drain time.
+        self._cancelled = False
 
     # ------------------------------------------------------------------
     # State inspection
@@ -107,9 +122,6 @@ class Event:
         else:
             self._callbacks.append(callback)
 
-    # Internal: has the kernel already delivered this event's callbacks?
-    _processed: bool = False
-
     def _deliver(self) -> None:
         """Invoke all callbacks.  Called by the kernel exactly once."""
         self._processed = True
@@ -129,6 +141,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically ``delay`` time units from now."""
 
+    __slots__ = ("delay", "_fire_value")
+
     def __init__(
         self, sim: "Simulator", delay: float, value: Any = None, name: str = ""
     ) -> None:
@@ -145,6 +159,12 @@ class Timeout(Event):
         self._value = self._fire_value
         super()._deliver()
 
+    def cancel(self) -> None:
+        """Lazily cancel the timeout: it will never fire, its callbacks
+        never run, and the agenda entry is skipped (not delivered) when
+        its timer-wheel bucket drains."""
+        self._cancelled = True
+
     # A Timeout is born triggered-at-a-future-time; it cannot be re-fired.
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise EventAlreadyFiredError("a Timeout fires automatically")
@@ -159,6 +179,8 @@ class AllOf(Event):
     The value is a list of child values in the original order.  If any child
     fails, this event fails with the first error observed.
     """
+
+    __slots__ = ("_children", "_remaining")
 
     def __init__(
         self, sim: "Simulator", events: Iterable[Event], name: str = ""
@@ -188,6 +210,8 @@ class AnyOf(Event):
 
     A failing child fails this event unless another child already fired.
     """
+
+    __slots__ = ("_children",)
 
     def __init__(
         self, sim: "Simulator", events: Iterable[Event], name: str = ""

@@ -1,29 +1,47 @@
 """The simulation kernel: clock, event queue, and process execution.
 
-The :class:`Simulator` owns a binary-heap agenda of ``(time, sequence,
-event)`` entries.  ``sequence`` is a monotonically increasing tie-breaker so
-that events scheduled at the same instant fire in FIFO order, which keeps
-runs fully deterministic.
+The :class:`Simulator` separates its agenda into two stores:
 
-A :class:`Process` wraps a generator.  Each value the generator yields must
-be an :class:`Event`; the process sleeps until that event fires and is then
-resumed with the event's value (or the event's error is thrown into the
-generator).  A finished process is itself an event, firing with the
-generator's return value, so processes can wait for one another.
+* a **ready deque** of entries due at the current instant — scheduling
+  a zero-delay event (the overwhelmingly common case: ``succeed()``,
+  recompute triggers, process bootstraps) is a plain append, no heap;
+* a bucketed **timer wheel** (:mod:`repro.simulation.timer_wheel`) for
+  future entries, with lazy cancellation so superseded timers are
+  skipped at drain time instead of being delivered as no-ops.
+
+Entries fire in ``(time, sequence)`` order, where ``sequence`` is a
+monotonically increasing tie-breaker, so events scheduled at the same
+instant fire in FIFO order and runs stay fully deterministic — the
+exact ordering contract of the original single-heap agenda.
+
+A :class:`Process` wraps a generator.  Each value the generator yields
+must be an :class:`Event`; the process sleeps until that event fires
+and is then resumed with the event's value (or the event's error is
+thrown into the generator).  A finished process is itself an event,
+firing with the generator's return value, so processes can wait for
+one another.
+
+Hot paths that only need "call me back at time T" use
+:meth:`Simulator.call_at` / :meth:`Simulator.call_later`, which
+schedule a bare cancellable :class:`~repro.simulation.timer_wheel.
+TimerHandle` instead of allocating an :class:`Event`.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Generator, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Generator, Optional
 
 from repro.errors import SimulationError
 from repro.simulation.event import AllOf, AnyOf, Event, Timeout
+from repro.simulation.timer_wheel import TimerHandle, TimerWheel
 
 
 class Process(Event):
     """A running generator, resumable by the kernel; also awaitable."""
+
+    __slots__ = ("_generator",)
 
     def __init__(
         self,
@@ -80,11 +98,16 @@ class Process(Event):
 class Simulator:
     """Discrete-event simulator: clock, agenda, and process spawner."""
 
-    def __init__(self) -> None:
+    def __init__(self, timer_granularity: float = 0.05) -> None:
+        """``timer_granularity`` is the wheel bucket width in simulated
+        seconds; entries within one bucket are sorted at drain time, so
+        the width trades bucket count against per-bucket sort size."""
         self._now: float = 0.0
-        self._agenda: List[Tuple[float, int, Event]] = []
+        self._ready: deque = deque()
+        self._wheel = TimerWheel(timer_granularity)
         self._sequence = itertools.count()
         self._processed_events = 0
+        self._batch: list = []
 
     # ------------------------------------------------------------------
     # Clock
@@ -125,29 +148,73 @@ class Simulator:
         return Process(self, generator, name=name)
 
     # ------------------------------------------------------------------
+    # Bare timers (hot-path API: no Event allocation)
+    # ------------------------------------------------------------------
+    def call_at(self, time: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn()`` at simulated ``time``; returns a cancellable handle.
+
+        Cancellation is lazy — a cancelled handle is skipped when its
+        wheel bucket drains, costing O(1) instead of a delivered no-op.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"call_at({time}) is in the past (now={self._now})"
+            )
+        handle = TimerHandle(fn)
+        if time == self._now:
+            self._ready.append(handle)
+        else:
+            self._wheel.push(time, next(self._sequence), handle)
+        return handle
+
+    def call_later(self, delay: float, fn: Callable[[], None]) -> TimerHandle:
+        """Run ``fn()`` after ``delay`` time units (cancellable)."""
+        if delay < 0:
+            raise SimulationError(f"negative timer delay: {delay}")
+        return self.call_at(self._now + delay, fn)
+
+    # ------------------------------------------------------------------
     # Scheduling (internal API used by Event)
     # ------------------------------------------------------------------
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._agenda, (self._now + delay, next(self._sequence), event)
-        )
+        if delay <= 0:
+            # Due at the current instant: FIFO deque, no heap, no seq.
+            self._ready.append(event)
+        else:
+            self._wheel.push(self._now + delay, next(self._sequence), event)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def step(self) -> bool:
-        """Deliver the next event.  Returns False if the agenda is empty."""
-        if not self._agenda:
+    def _pull_batch(self) -> bool:
+        """Advance the clock to the wheel's next instant and stage every
+        entry due then onto the ready deque.  False when nothing is left."""
+        batch = self._batch
+        time = self._wheel.pop_batch(batch)
+        if time is None:
             return False
-        time, _seq, event = heapq.heappop(self._agenda)
-        if time < self._now:
+        if time < self._now:  # pragma: no cover - defensive
             raise SimulationError(
                 f"time went backwards: {time} < {self._now}"
             )
         self._now = time
-        self._processed_events += 1
-        event._deliver()
+        self._ready.extend(batch)
+        batch.clear()
         return True
+
+    def step(self) -> bool:
+        """Deliver the next event.  Returns False if the agenda is empty."""
+        ready = self._ready
+        while True:
+            if not ready:
+                if not self._pull_batch():
+                    return False
+            obj = ready.popleft()
+            if obj._cancelled:
+                continue
+            self._processed_events += 1
+            obj._deliver()
+            return True
 
     def run(self, until: Optional[float] = None) -> float:
         """Run until the agenda empties or the clock passes ``until``.
@@ -158,9 +225,33 @@ class Simulator:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})"
             )
-        while self._agenda:
-            time = self._agenda[0][0]
-            if until is not None and time > until:
+        ready = self._ready
+        if until is None:
+            # Unbounded run: inline the delivery loop (no per-event
+            # step() call, no wheel peek between events).
+            while True:
+                while ready:
+                    obj = ready.popleft()
+                    if obj._cancelled:
+                        continue
+                    self._processed_events += 1
+                    obj._deliver()
+                if not self._pull_batch():
+                    return self._now
+        while True:
+            # Purge cancelled entries here rather than via step(), which
+            # would otherwise pull the next wheel batch — possibly past
+            # ``until`` — just to find something deliverable.
+            while ready and ready[0]._cancelled:
+                ready.popleft()
+            if ready:
+                if not self.step():  # pragma: no cover - defensive
+                    break
+                continue
+            next_time = self._wheel.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
                 self._now = until
                 return self._now
             self.step()

@@ -18,8 +18,10 @@ from repro.experiments.runner import (
     clear_data_cache,
     run_matrix,
     run_matrix_parallel,
+    run_matrix_sharded,
 )
 from repro.experiments.schemes import Scheme
+from repro.failures.chaos import ChaosEvent, ChaosSchedule
 from repro.workloads import workload_by_name
 
 
@@ -81,3 +83,68 @@ def test_parallel_results_preserve_matrix_order():
         ("WordCount", Scheme.AGGSHUFFLE, 0),
         ("WordCount", Scheme.AGGSHUFFLE, 1),
     ]
+
+
+# ---------------------------------------------------------------------------
+# Sharded harness: contiguous shards + parent-side dataset generation
+# ---------------------------------------------------------------------------
+def test_sharded_matrix_is_identical_to_serial_and_parallel():
+    sequential = _small_matrix(run_matrix)
+    clear_data_cache()
+    parallel = _small_matrix(run_matrix_parallel, jobs=2)
+    clear_data_cache()
+    sharded = _small_matrix(run_matrix_sharded, jobs=2)
+    clear_data_cache()
+    # An uneven shard split must not change anything either.
+    sharded_odd = _small_matrix(run_matrix_sharded, jobs=2, shards=3)
+    assert len(sequential) == len(parallel) == len(sharded) == len(sharded_odd)
+    for seq, par, sha, odd in zip(sequential, parallel, sharded, sharded_odd):
+        assert _comparable(seq) == _comparable(par)
+        assert _comparable(seq) == _comparable(sha)
+        assert _comparable(seq) == _comparable(odd)
+    assert repr(fig7_job_completion_times(sequential)) == repr(
+        fig7_job_completion_times(sharded)
+    )
+
+
+def test_sharded_jobs_of_one_runs_sequentially():
+    results = _small_matrix(run_matrix_sharded, jobs=1)
+    assert [(r.scheme, r.seed) for r in results] == [
+        (Scheme.SPARK, 0),
+        (Scheme.SPARK, 1),
+        (Scheme.AGGSHUFFLE, 0),
+        (Scheme.AGGSHUFFLE, 1),
+    ]
+
+
+def test_sharded_chaos_axis_expands_and_matches_sequential():
+    """The chaos axis multiplies the matrix (scheme x chaos x seed) and
+    stays byte-identical between the sequential and sharded paths."""
+    degrade = ChaosSchedule(
+        (
+            ChaosEvent(
+                at=1.0,
+                kind="degrade",
+                target="us-east-1->us-west-1",
+                factor=0.5,
+                duration=0.0,
+            ),
+        )
+    )
+    chaos_axis = [None, degrade]
+    plan = ExperimentPlan(seeds=(0,))
+    workloads = [workload_by_name("wordcount")]
+    schemes = [Scheme.SPARK]
+    sequential = run_matrix_sharded(
+        workloads, schemes, plan, jobs=1, chaos=chaos_axis
+    )
+    clear_data_cache()
+    sharded = run_matrix_sharded(
+        workloads, schemes, plan, jobs=2, chaos=chaos_axis
+    )
+    assert len(sequential) == len(sharded) == 2
+    for seq, sha in zip(sequential, sharded):
+        assert _comparable(seq) == _comparable(sha)
+    # The degrade variant actually fired its event.
+    assert sequential[0].chaos_events_applied == 0
+    assert sequential[1].chaos_events_applied == 1

@@ -59,3 +59,13 @@ def test_lineage_without_aggregation_has_no_transfers(capsys):
 def test_unknown_workload_rejected():
     with pytest.raises(KeyError):
         main(["run", "mystery"])
+
+
+def test_profile_flag_appends_cprofile_report(capsys):
+    code = main(["--profile", "5", "run", "sort", "--scheme", "spark"])
+    out = capsys.readouterr().out
+    assert code == 0
+    # Normal output first, then the profiler table.
+    assert "Sort / Spark" in out
+    assert "cProfile — top 5 by cumulative time" in out
+    assert "cumtime" in out
