@@ -183,6 +183,152 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_arrival(text: str):
+    """``PROCESS:RATE:JOBS[:FACTOR[:FRACTION]]`` -> ArrivalSpec.
+
+    Errors name the offending token, like ``--chaos`` parsing does.
+    """
+    from repro.workloads.arrivals import ARRIVAL_PROCESSES, ArrivalSpec
+
+    parts = text.split(":")
+    if len(parts) < 3 or len(parts) > 5:
+        raise SystemExit(
+            f"--arrival: expected PROCESS:RATE:JOBS[:FACTOR[:FRACTION]], "
+            f"got {text!r}"
+        )
+    process = parts[0]
+    if process not in ARRIVAL_PROCESSES:
+        raise SystemExit(
+            f"--arrival: unknown process {process!r} "
+            f"(choose from: {', '.join(ARRIVAL_PROCESSES)})"
+        )
+    labels = ("rate (jobs/min)", "job count", "burst factor", "burst fraction")
+    values = []
+    for label, token in zip(labels, parts[1:]):
+        try:
+            values.append(float(token))
+        except ValueError:
+            raise SystemExit(
+                f"--arrival: bad {label} token {token!r} in {text!r}"
+            ) from None
+    spec = ArrivalSpec(
+        process=process,
+        rate_per_minute=values[0],
+        num_jobs=int(values[1]),
+        **(
+            {"burst_factor": values[2]} if len(values) > 2 else {}
+        ),
+        **(
+            {"burst_fraction": values[3]} if len(values) > 3 else {}
+        ),
+    )
+    _validated(spec, "--arrival")
+    return spec
+
+
+def _parse_tenants(text: str):
+    """``NAME[:WEIGHT[:SHARE]],...`` -> tuple of TenantSpec."""
+    from repro.workloads.arrivals import TenantSpec
+
+    tenants = []
+    for token in text.split(","):
+        parts = token.split(":")
+        if not parts[0] or len(parts) > 3:
+            raise SystemExit(
+                f"--tenants: bad tenant token {token!r} in {text!r} "
+                "(expected NAME[:WEIGHT[:SHARE]])"
+            )
+        numbers = []
+        for label, raw in zip(("weight", "share"), parts[1:]):
+            try:
+                numbers.append(float(raw))
+            except ValueError:
+                raise SystemExit(
+                    f"--tenants: bad {label} token {raw!r} in {token!r}"
+                ) from None
+        tenants.append(
+            TenantSpec(
+                name=parts[0],
+                weight=numbers[0] if numbers else 1.0,
+                share=numbers[1] if len(numbers) > 1 else 1.0,
+            )
+        )
+    return tuple(tenants)
+
+
+def _validated(spec, flag: str):
+    from repro.errors import WorkloadError
+
+    try:
+        spec.validate()
+    except WorkloadError as error:
+        raise SystemExit(f"{flag}: {error}") from None
+    return spec
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    from repro.scheduler.job_scheduler import JOB_POLICIES
+    from repro.workloads.arrivals import StreamSpec
+
+    if args.policy not in JOB_POLICIES:
+        raise SystemExit(
+            f"--policy: unknown policy {args.policy!r} "
+            f"(choose from: {', '.join(JOB_POLICIES)})"
+        )
+    mix = ()
+    if args.mix:
+        mix = tuple(token for token in args.mix.split(",") if token)
+    arrival = _parse_arrival(args.arrival)
+    if mix:
+        from dataclasses import replace as _replace
+
+        arrival = _validated(_replace(arrival, mix=mix), "--mix")
+    stream = _validated(
+        StreamSpec(
+            arrival=arrival,
+            tenants=_parse_tenants(args.tenants),
+            policy=args.policy,
+            max_concurrent=args.max_concurrent,
+        ),
+        "stream",
+    )
+    scheme = _scheme(args.scheme)
+    plan = ExperimentPlan(seeds=(args.seed,), stream=stream)
+    # The workload argument only labels single-job cells; stream cells
+    # build their own mini jobs from the arrival schedule.
+    result = run_workload_once(all_workloads()[0], scheme, args.seed, plan)
+    info = result.stream
+    print(
+        f"stream / {scheme.value} (seed {args.seed}, policy {info['policy']})"
+    )
+    print(f"  shuffle backend : {result.backend}")
+    print(
+        f"  jobs            : {info['jobs_completed']:.0f} completed / "
+        f"{info['jobs_failed']:.0f} failed of {info['jobs_submitted']:.0f} "
+        f"(arrivals span {info['arrival_span_s']:.1f} s)"
+    )
+    print(f"  stream duration : {result.job_duration:9.1f} s")
+    print(f"  cross-DC traffic: {result.cross_dc_megabytes:9.1f} MB")
+    headers = [
+        "tenant", "jobs", "JCT p50 (s)", "JCT p95 (s)", "JCT p99 (s)",
+        "makespan (s)", "MB", "WAN MB",
+    ]
+    rows = []
+    for tenant, row in result.tenants.items():
+        rows.append([
+            tenant,
+            f"{row.get('jobs_completed', 0):.0f}/{row.get('jobs_submitted', 0):.0f}",
+            f"{row.get('jct_p50_s', 0.0):.2f}",
+            f"{row.get('jct_p95_s', 0.0):.2f}",
+            f"{row.get('jct_p99_s', 0.0):.2f}",
+            f"{row.get('makespan_s', 0.0):.1f}",
+            f"{row.get('bytes', 0.0) / 1e6:.1f}",
+            f"{row.get('wan_bytes', 0.0) / 1e6:.1f}",
+        ])
+    print(format_table(headers, rows))
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     plan = _plan(args.seeds)
@@ -330,6 +476,43 @@ def build_parser() -> argparse.ArgumentParser:
         "re-issued flows instead of stage resubmission (DESIGN.md §10)",
     )
     run.set_defaults(func=cmd_run)
+
+    stream = commands.add_parser(
+        "stream",
+        help="run a multi-tenant job stream through the inter-job "
+        "scheduler on one shared cluster",
+    )
+    stream.add_argument(
+        "--arrival",
+        default="poisson:12:50",
+        metavar="SPEC",
+        help="arrival process: PROCESS:RATE:JOBS[:FACTOR[:FRACTION]] "
+        "with PROCESS poisson|bursty, RATE in jobs/min "
+        "(default poisson:12:50)",
+    )
+    stream.add_argument(
+        "--tenants",
+        default="default",
+        metavar="SPEC",
+        help="comma-separated tenants: NAME[:WEIGHT[:SHARE]] — WEIGHT "
+        "drives the WAN fair share and the fair policy's executor "
+        "share, SHARE the arrival mix (default one unit-weight tenant)",
+    )
+    stream.add_argument(
+        "--policy",
+        default="fifo",
+        help="inter-job admission policy: fifo, fair, sjf, or pack",
+    )
+    stream.add_argument(
+        "--mix",
+        default=None,
+        help="comma-separated workload specs shaping job sizes "
+        "(default: all five Table I specs)",
+    )
+    stream.add_argument("--scheme", default="aggshuffle")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--max-concurrent", type=int, default=4)
+    stream.set_defaults(func=cmd_stream)
 
     compare = commands.add_parser(
         "compare", help="compare the three schemes on one workload"

@@ -76,7 +76,8 @@ class Broadcast:
         source = same_dc[0] if same_dc else self._holders[0]
         if self.size_bytes > 0:
             yield self.context.fabric.transfer(
-                source, host, self.size_bytes, tag="broadcast"
+                source, host, self.size_bytes, tag="broadcast",
+                tenant=runtime.tenant,
             )
         self._holders.append(host)
         del self._in_flight[host]

@@ -230,18 +230,31 @@ class ClusterContext:
     def submit_job(
         self, rdd: RDD, action: str = "collect",
         save_path: Optional[str] = None,
+        tenant: Optional[str] = None,
+        allowed_hosts: Optional[frozenset] = None,
     ) -> "JobHandle":
         """Start a job without blocking; returns a :class:`JobHandle`.
 
         Multiple submitted jobs share the cluster's executors, network,
         and trackers, contending for slots exactly as concurrent Spark
         jobs would.  Each job gets its own metrics collector.
+
+        ``tenant`` attributes every flow the job issues (per-tenant WAN
+        accounting and fair-share weighting); ``allowed_hosts`` confines
+        its tasks to an executor-pool share granted by the inter-job
+        scheduler.
         """
         metrics = MetricsCollector()
-        scheduler = DAGScheduler(self, metrics=metrics)
+        scheduler = DAGScheduler(
+            self, metrics=metrics, tenant=tenant, allowed_hosts=allowed_hosts
+        )
         job = scheduler.run_job(rdd, action, save_path=save_path)
         process = self.sim.spawn(job, name=f"job:{action}:{rdd.name}")
         return JobHandle(self, process, metrics)
+
+    def set_tenant_weight(self, tenant: str, weight: float) -> None:
+        """Give ``tenant``'s flows a weighted max-min fair share."""
+        self.fabric.set_tenant_weight(tenant, weight)
 
     def wait_all(self, handles: Sequence["JobHandle"]) -> List[Any]:
         """Run the simulation until every handle's job completes."""

@@ -81,6 +81,11 @@ class RunResult:
     # Health-aware degradation counters (blacklist exclusions, breaker
     # trips, flow retries, re-elections; see repro.metrics.perf).
     health: Dict[str, float] = field(default_factory=dict)
+    # Multi-tenant stream runs only (``ExperimentPlan.stream``): the
+    # per-tenant report (JCT percentiles, makespan, attributed bytes;
+    # see repro.metrics.tenants) and the stream-level outcome.
+    tenants: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    stream: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -98,6 +103,11 @@ class ExperimentPlan:
     # Seed for data generation and block placement; None regenerates
     # them per run seed (see module docstring).
     fixed_data_seed: Optional[int] = 0
+    # Multi-tenant job stream (repro.workloads.arrivals.StreamSpec).
+    # When set, the cell runs the stream through the inter-job scheduler
+    # instead of the single workload job; the single-job path is
+    # untouched (byte-identical) when this stays None.
+    stream: Any = None
 
 
 # Cache of generated input, shared across schemes/seeds of one process.
@@ -130,6 +140,8 @@ def run_workload_once(
     context = ClusterContext(
         plan.cluster, config, straggler_model=plan.straggler_model
     )
+    if plan.stream is not None:
+        return _run_stream_cell(workload, scheme, seed, plan, context)
 
     data_seed = plan.fixed_data_seed if plan.fixed_data_seed is not None else seed
     partitions = generated_input(workload, data_seed)
@@ -201,6 +213,81 @@ def run_workload_once(
         ),
         recovery=context.recovery.as_dict(),
         health=context.health.as_dict(),
+    )
+
+
+def _run_stream_cell(
+    workload: Workload,
+    scheme: Scheme,
+    seed: int,
+    plan: ExperimentPlan,
+    context: ClusterContext,
+) -> RunResult:
+    """One multi-tenant stream cell on an already-built context.
+
+    The arrival schedule derives from the cell's run seed through the
+    context's root RandomSource (named child stream), so identical seeds
+    reproduce identical schedules in every harness — serial,
+    per-cell-parallel, and sharded — and adding draws elsewhere never
+    perturbs them.
+    """
+    from repro.scheduler.job_scheduler import run_stream
+    from repro.workloads.arrivals import generate_arrivals
+
+    stream_spec = plan.stream
+    arrivals = generate_arrivals(
+        stream_spec,
+        plan.cluster.datacenters,
+        context.randomness.child("stream"),
+    )
+    started = context.sim.now
+    stream_result = run_stream(context, stream_spec, arrivals)
+    duration = context.sim.now - started
+    context.shutdown()
+    # Reconciliation surface: the ledger's admission-time attribution
+    # ("bytes"/"wan_bytes") next to the monitor's completion-time records
+    # — equal once every flow has landed (property-tested, benchmarked).
+    for name, row in stream_result.tenants.items():
+        row["monitor_bytes"] = context.traffic.by_tenant.get(name, 0.0)
+        row["monitor_wan_bytes"] = context.traffic.cross_dc_by_tenant.get(
+            name, 0.0
+        )
+    return RunResult(
+        workload=f"stream:{stream_spec.policy}",
+        scheme=scheme,
+        seed=seed,
+        duration=duration,
+        job_duration=stream_result.duration,
+        centralize_duration=0.0,
+        cross_dc_megabytes=context.traffic.cross_dc_megabytes,
+        total_megabytes=context.traffic.total_bytes / 1e6,
+        cross_dc_by_tag={
+            tag: size / 1e6
+            for tag, size in context.traffic.cross_dc_by_tag.items()
+        },
+        cost_dollars=bill_traffic(context.traffic).total_dollars,
+        backend=context.shuffle_service.backend_name,
+        fabric_perf=context.fabric.perf_snapshot(),
+        shuffle_perf=context.shuffle_service.perf_snapshot(),
+        injected_failures_total=context.failure_injector.total_injected,
+        straggler_hits=context.failure_injector.stragglers_hit,
+        chaos_events_applied=(
+            context.chaos_injector.events_applied
+            if context.chaos_injector is not None
+            else 0
+        ),
+        recovery=context.recovery.as_dict(),
+        health=context.health.as_dict(),
+        tenants=stream_result.tenants,
+        stream={
+            "policy": stream_result.policy,
+            "jobs_submitted": stream_result.jobs_submitted,
+            "jobs_completed": stream_result.jobs_completed,
+            "jobs_failed": stream_result.jobs_failed,
+            "arrival_span_s": (
+                arrivals[-1].arrival_time if arrivals else 0.0
+            ),
+        },
     )
 
 
@@ -372,6 +459,8 @@ def run_matrix_sharded(
     entries: Dict[Tuple[str, int], List[List[Any]]] = {}
     for workload in workloads:
         for variant in plans:
+            if variant.stream is not None:
+                continue  # stream cells generate no workload dataset
             data_seeds = (
                 (variant.fixed_data_seed,)
                 if variant.fixed_data_seed is not None

@@ -441,6 +441,7 @@ def transfer_with_retry(
     dst_host: str,
     size_bytes: float,
     tag: str,
+    tenant: str = "",
     on_issue: Optional[Callable[[str], None]] = None,
     on_cancel: Optional[Callable[[str, float], None]] = None,
     check: Optional[Callable[[], None]] = None,
@@ -508,7 +509,9 @@ def transfer_with_retry(
             chosen = ordered[0]
         src_dc = topology.datacenter_of(chosen)
         started = sim.now
-        flow = fabric.transfer(chosen, dst_host, size_bytes, tag=tag)
+        flow = fabric.transfer(
+            chosen, dst_host, size_bytes, tag=tag, tenant=tenant
+        )
         if on_issue is not None:
             on_issue(chosen)
         scope.issued.append(chosen)

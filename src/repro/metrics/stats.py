@@ -39,7 +39,31 @@ def _quantile(ordered: Sequence[float], q: float) -> float:
     low = int(position)
     high = min(low + 1, len(ordered) - 1)
     weight = position - low
-    return ordered[low] * (1 - weight) + ordered[high] * weight
+    # a + (b - a) * w, not (1-w)*a + w*b: the two-product form can
+    # underflow both terms to zero on subnormal inputs, landing *below*
+    # ordered[low] and breaking min <= q25 <= median orderings.
+    return ordered[low] + (ordered[high] - ordered[low]) * weight
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (``0 <= q <= 100``) of ``values``.
+
+    Linear interpolation between closest ranks — ``percentile(v, 50)``
+    equals :func:`median`, matching numpy's default method.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    return _quantile(sorted(values), q / 100.0)
+
+
+def p95(values: Sequence[float]) -> float:
+    """95th percentile (tail-latency convention for JCT reports)."""
+    return percentile(values, 95)
+
+
+def p99(values: Sequence[float]) -> float:
+    """99th percentile (tail-latency convention for JCT reports)."""
+    return percentile(values, 99)
 
 
 def median(values: Sequence[float]) -> float:

@@ -37,7 +37,7 @@ equivalent of the incremental drive's lazy ``_charge``.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -216,6 +216,7 @@ def _general_schedule(
     remaining: np.ndarray,
     routes: Sequence[np.ndarray],
     capacities: np.ndarray,
+    weights: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, List[List[int]]]:
     """Iterative cascade: one progressive fill per departure round."""
     indices, indptr, flow_of_entry = build_csr(routes)
@@ -228,7 +229,7 @@ def _general_schedule(
     elapsed = 0.0
     while active.any():
         rates = progressive_fill(
-            indices, indptr, flow_of_entry, capacities, active
+            indices, indptr, flow_of_entry, capacities, active, weights=weights
         )
         step = np.full(count, np.inf)
         step[active] = live_remaining[active] / rates[active]
@@ -251,6 +252,7 @@ def build_plan(
     routes: Mapping[int, Tuple[str, ...]],
     capacities: Mapping[str, float],
     base: float,
+    weights: Optional[Mapping[int, float]] = None,
 ) -> CascadePlan:
     """Plan one component's full departure schedule.
 
@@ -258,6 +260,9 @@ def build_plan(
     are the engine's solver inputs for exactly these flows — shared link
     names plus the per-flow virtual ``cap:<fid>`` WAN-cap links.  The
     returned plan's ``flow_ids`` may be a reordering of the input.
+    ``weights`` (flow id -> weighted-fair-share weight, absent flows
+    weigh 1.0) selects the weighted fill; ``None`` keeps the exact
+    unweighted path.
     """
     init_remaining = np.asarray(remaining, dtype=float)
 
@@ -271,6 +276,15 @@ def build_plan(
     uniform = bool(shared0) and all(
         split(fid) == (shared0, cap0) for fid in flow_ids[1:]
     )
+    if uniform and weights:
+        # The closed form assumes every alive member runs at the same
+        # rate, which holds only when all weights are equal (weighted
+        # max-min with equal weights reduces to the unweighted
+        # allocation — the shared fair level just rescales).
+        weight0 = weights.get(flow_ids[0], 1.0)
+        uniform = all(
+            weights.get(fid, 1.0) == weight0 for fid in flow_ids[1:]
+        )
     if uniform:
         multiplicity: Dict[str, int] = {}
         for name in shared0:
@@ -303,8 +317,15 @@ def build_plan(
                 link_caps.append(capacities[name])
             row[position] = index
         index_routes.append(row)
+    weight_array: Optional[np.ndarray] = None
+    if weights:
+        weight_array = np.asarray(
+            [float(weights.get(fid, 1.0)) for fid in flow_ids]
+        )
+        if np.any(weight_array <= 0):
+            raise ValueError("flow weights must be > 0")
     bounds, rates, departs = _general_schedule(
-        init_remaining, index_routes, np.asarray(link_caps)
+        init_remaining, index_routes, np.asarray(link_caps), weight_array
     )
     return GeneralPlan(
         list(flow_ids), base, init_remaining, bounds, rates, departs

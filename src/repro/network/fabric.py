@@ -46,6 +46,7 @@ import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.metrics.perf import FabricPerfCounters
+from repro.metrics.tenants import TenantLedger
 from repro.network.cascade import CascadePlan, build_plan
 from repro.network.fair_share import max_min_fair_rates
 from repro.network.incremental import IncrementalFairShare
@@ -78,6 +79,8 @@ class Flow:
         "route",
         "latency",
         "tag",
+        "tenant",
+        "weight",
         "completion",
         "rate",
         "started_at",
@@ -97,6 +100,8 @@ class Flow:
         tag: str,
         completion: Event,
         started_at: float,
+        tenant: str = "",
+        weight: float = 1.0,
     ) -> None:
         self.flow_id = flow_id
         self.src_host = src_host
@@ -107,6 +112,10 @@ class Flow:
         # Total propagation latency of the route, precomputed once.
         self.latency = latency
         self.tag = tag
+        # Owning tenant ("" for untenanted traffic) and its
+        # weighted-fair-share weight, resolved at admission.
+        self.tenant = tenant
+        self.weight = weight
         self.completion = completion
         self.rate = 0.0
         self.started_at = started_at
@@ -158,6 +167,15 @@ class NetworkFabric:
         self.monitor = monitor if monitor is not None else TrafficMonitor()
         self.wan_flow_cap = wan_flow_cap
         self.perf = FabricPerfCounters()
+        # tenant -> weighted-fair-share weight (> 0); flows issued for a
+        # tenant absent from the registry weigh 1.0.  Populated by the
+        # inter-job scheduler; untouched (empty) for single-job runs so
+        # the solvers stay on the bit-identical unweighted path.
+        self.tenant_weights: Dict[str, float] = {}
+        # Creation-time per-tenant byte accounting (admission charges,
+        # cancel refunds); reconciles exactly with the traffic monitor's
+        # per-tenant totals once all flows have landed.
+        self.tenant_ledger = TenantLedger()
         self.drive = drive
         incremental = drive != "global"
         self._incremental = incremental
@@ -200,12 +218,15 @@ class NetworkFabric:
         dst_host: str,
         size_bytes: float,
         tag: str = "",
+        tenant: str = "",
     ) -> Event:
         """Start moving ``size_bytes`` from src to dst.
 
         Returns an event firing with the :class:`Flow` once the transfer
         (including propagation latency) completes.  Same-host transfers and
-        empty payloads complete after the route latency alone.
+        empty payloads complete after the route latency alone.  ``tenant``
+        attributes the bytes to a tenant and picks up that tenant's
+        fair-share weight from :attr:`tenant_weights`.
         """
         if size_bytes < 0:
             raise ValueError(f"negative transfer size: {size_bytes}")
@@ -213,6 +234,7 @@ class NetworkFabric:
         route = self.topology.route(src_host, dst_host)
         latency = self.topology.route_latency(src_host, dst_host)
         completion = self.sim.event(name=f"flow{flow_id}:done")
+        weight = self.tenant_weights.get(tenant, 1.0) if tenant else 1.0
         flow = Flow(
             flow_id,
             src_host,
@@ -223,7 +245,20 @@ class NetworkFabric:
             tag,
             completion,
             started_at=self.sim.now,
+            tenant=tenant,
+            weight=weight,
         )
+        if tenant and size_bytes > 0:
+            # Admission-time tenant accounting (mirrors the shuffle
+            # counters: charged here, refunded on cancel) — must
+            # reconcile with the monitor's completion-time records.
+            self.tenant_ledger.account(
+                tenant,
+                flow_id,
+                size_bytes,
+                wan=self.topology.datacenter_of(src_host)
+                != self.topology.datacenter_of(dst_host),
+            )
         if not route or size_bytes <= _DRAIN_FLOOR:
             self._finish_flow(flow, extra_delay=latency)
             return completion
@@ -231,7 +266,7 @@ class NetworkFabric:
         self._flow_by_event[completion] = flow
         self.perf.note_admission(len(self._flows))
         if self._engine is not None:
-            self._engine.add_flow(flow_id, route)
+            self._engine.add_flow(flow_id, route, weight=weight)
             self._dirty_flows.add(flow_id)
         else:
             self._advance_progress()
@@ -374,11 +409,31 @@ class NetworkFabric:
         delivered = flow.size_bytes - flow.remaining
         if delivered < 0:
             delivered = 0.0
+        src_dc = self.topology.datacenter_of(flow.src_host)
+        dst_dc = self.topology.datacenter_of(flow.dst_host)
+        if flow.tenant:
+            # Refund the bytes that never crossed the links: the charge
+            # becomes exactly the delivered value the monitor records,
+            # so admission-time totals reconcile with completion-time
+            # records to the last bit.
+            self.tenant_ledger.settle(flow.flow_id, delivered)
         if delivered > 0:
-            src_dc = self.topology.datacenter_of(flow.src_host)
-            dst_dc = self.topology.datacenter_of(flow.dst_host)
-            self.monitor.record(src_dc, dst_dc, delivered, flow.tag)
+            self.monitor.record(
+                src_dc, dst_dc, delivered, flow.tag, tenant=flow.tenant
+            )
         return delivered
+
+    def set_tenant_weight(self, tenant: str, weight: float) -> None:
+        """Register ``tenant``'s fair-share weight (> 0).
+
+        Applies to flows admitted *after* the call; in-flight flows
+        keep the weight they were admitted with.
+        """
+        if not tenant:
+            raise ValueError("tenant name must be non-empty")
+        if weight <= 0:
+            raise ValueError(f"tenant {tenant!r} has weight <= 0")
+        self.tenant_weights[tenant] = float(weight)
 
     def solver_inputs(self) -> Tuple[Dict[int, Tuple[str, ...]], Dict[str, float]]:
         """The global (routes, capacities) dicts describing the current
@@ -387,6 +442,18 @@ class NetworkFabric:
         if self._engine is not None:
             return self._engine.solver_inputs()
         return self._build_solver_inputs()
+
+    def solver_weights(self) -> Optional[Dict[int, float]]:
+        """The active set's flow-weight mapping, or ``None`` when every
+        active flow weighs 1.0 (the unweighted fast path)."""
+        if self._engine is not None:
+            return self._engine.solver_weights()
+        weights = {
+            flow_id: flow.weight
+            for flow_id, flow in self._flows.items()
+            if flow.weight != 1.0
+        }
+        return weights or None
 
     def perf_snapshot(self) -> Dict[str, float]:
         """Perf counters plus the topology's route-cache statistics."""
@@ -424,7 +491,9 @@ class NetworkFabric:
             # them would pollute the traffic matrices with empty entries.
             src_dc = self.topology.datacenter_of(flow.src_host)
             dst_dc = self.topology.datacenter_of(flow.dst_host)
-            self.monitor.record(src_dc, dst_dc, flow.size_bytes, flow.tag)
+            self.monitor.record(
+                src_dc, dst_dc, flow.size_bytes, flow.tag, tenant=flow.tenant
+            )
         self.completed_flows.append(flow)
         if extra_delay > 0:
             done = self.sim.timeout(extra_delay)
@@ -540,7 +609,14 @@ class NetworkFabric:
             members = sorted(component)
             remaining = [self._flows[f].remaining for f in members]
             routes, capacities = engine.subproblem(members)
-            plan = build_plan(members, remaining, routes, capacities, now)
+            plan = build_plan(
+                members,
+                remaining,
+                routes,
+                capacities,
+                now,
+                weights=engine.weights_for(members),
+            )
             for pos, flow_id in enumerate(plan.flow_ids):
                 flow = self._flows[flow_id]
                 flow.rate = plan.initial_rate(pos)
@@ -743,7 +819,9 @@ class NetworkFabric:
     def _recompute_rates(self) -> None:
         started = time.perf_counter()
         routes, capacities = self._build_solver_inputs()
-        rates = max_min_fair_rates(routes, capacities)
+        rates = max_min_fair_rates(
+            routes, capacities, flow_weights=self.solver_weights()
+        )
         for flow_id, flow in self._flows.items():
             flow.rate = rates[flow_id]
         self.perf.solves += 1

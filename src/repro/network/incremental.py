@@ -68,6 +68,12 @@ class IncrementalFairShare:
         # lockstep with the graph instead of being rebuilt per solve.
         self._capacities: Dict[str, float] = {}
         self._rates: Dict[FlowId, float] = {}
+        # flow id -> fair-share weight; ``_non_unit`` counts flows whose
+        # weight != 1.0 so the all-unit case hands the solvers *no*
+        # weight mapping at all and stays on the bit-identical
+        # unweighted code path.
+        self._weights: Dict[FlowId, float] = {}
+        self._non_unit = 0
 
     def _effective_capacity(self, link: Link) -> float:
         hint = self._hints.get(link.name)
@@ -79,10 +85,18 @@ class IncrementalFairShare:
     # ------------------------------------------------------------------
     # Graph maintenance
     # ------------------------------------------------------------------
-    def add_flow(self, flow_id: FlowId, route: Sequence[Link]) -> None:
+    def add_flow(
+        self, flow_id: FlowId, route: Sequence[Link], weight: float = 1.0
+    ) -> None:
         """Register a flow; capacities of newly-carried links are read
         fresh from the :class:`Link` objects (they may have jittered
-        while idle)."""
+        while idle).  ``weight`` is the flow's weighted-fair-share
+        weight (tenant weight; > 0)."""
+        if weight <= 0:
+            raise ValueError(f"flow {flow_id!r} has weight <= 0")
+        self._weights[flow_id] = weight
+        if weight != 1.0:
+            self._non_unit += 1
         names: List[str] = []
         for link in route:
             name = link.name
@@ -115,6 +129,8 @@ class IncrementalFairShare:
         self._capacities.pop(f"cap:{flow_id}", None)
         del self._routes[flow_id]
         del self._rates[flow_id]
+        if self._weights.pop(flow_id) != 1.0:
+            self._non_unit -= 1
 
     def update_capacity(self, link: Link) -> bool:
         """Absorb a capacity change.  Returns True when the link carries
@@ -177,6 +193,16 @@ class IncrementalFairShare:
         """The flows currently crossing link ``name`` (possibly none)."""
         return self._link_flows.get(name, ())
 
+    def weights_for(
+        self, flow_ids: Iterable[FlowId]
+    ) -> Optional[Dict[FlowId, float]]:
+        """The weight mapping for ``flow_ids`` — or ``None`` when every
+        registered flow weighs 1.0, so callers hand the solvers nothing
+        and stay on the bit-identical unweighted path."""
+        if not self._non_unit:
+            return None
+        return {flow_id: self._weights[flow_id] for flow_id in flow_ids}
+
     def solve(self, flow_ids: Set[FlowId]) -> None:
         """Re-solve exactly ``flow_ids`` (one or more full components)
         against the maintained capacity dict; other flows keep their
@@ -185,7 +211,9 @@ class IncrementalFairShare:
             return
         started = perf_counter()
         routes, capacities = self.subproblem(flow_ids)
-        rates = max_min_fair_rates(routes, capacities)
+        rates = max_min_fair_rates(
+            routes, capacities, flow_weights=self.weights_for(flow_ids)
+        )
         self._rates.update(rates)
         counters = self.counters
         counters.solves += 1
@@ -203,6 +231,17 @@ class IncrementalFairShare:
         feed them to :func:`max_min_fair_rates` to cross-check the
         incremental rates against a from-scratch solve."""
         return dict(self._routes), dict(self._capacities)
+
+    def solver_weights(self) -> Optional[Dict[FlowId, float]]:
+        """The non-unit flow weights, or ``None`` when all flows weigh
+        1.0 (absent flows weigh 1.0 by solver contract)."""
+        if not self._non_unit:
+            return None
+        return {
+            flow_id: weight
+            for flow_id, weight in self._weights.items()
+            if weight != 1.0
+        }
 
     @property
     def flow_count(self) -> int:

@@ -8,7 +8,8 @@ tag (e.g. ``"shuffle"``, ``"transfer_to"``, ``"input"``).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Tuple
+from math import fsum
+from typing import Dict, List, Tuple
 
 MB = 1_000_000.0
 
@@ -22,19 +23,54 @@ class TrafficMonitor:
         self.by_pair: Dict[Tuple[str, str], float] = defaultdict(float)
         self.by_tag: Dict[str, float] = defaultdict(float)
         self.cross_dc_by_tag: Dict[str, float] = defaultdict(float)
+        # Per-tenant records are kept as per-flow entries and reduced
+        # with math.fsum on read: exact and accumulation-order-free, so
+        # they reconcile bit-for-bit with the admission-time
+        # TenantLedger (which sums the identical multiset).  Untenanted
+        # runs never touch these.
+        self._tenant_entries: Dict[str, List[float]] = defaultdict(list)
+        self._tenant_wan_entries: Dict[str, List[float]] = defaultdict(list)
         self.flow_count = 0
 
-    def record(self, src_dc: str, dst_dc: str, size_bytes: float, tag: str = "") -> None:
-        """Account one finished flow."""
+    def record(
+        self,
+        src_dc: str,
+        dst_dc: str,
+        size_bytes: float,
+        tag: str = "",
+        tenant: str = "",
+    ) -> None:
+        """Account one finished flow (``tenant`` attributes multi-tenant
+        traffic; untenanted flows leave the tenant matrices alone)."""
         self.flow_count += 1
         self.total_bytes += size_bytes
         self.by_pair[(src_dc, dst_dc)] += size_bytes
         if tag:
             self.by_tag[tag] += size_bytes
+        if tenant:
+            self._tenant_entries[tenant].append(size_bytes)
         if src_dc != dst_dc:
             self.cross_dc_bytes += size_bytes
             if tag:
                 self.cross_dc_by_tag[tag] += size_bytes
+            if tenant:
+                self._tenant_wan_entries[tenant].append(size_bytes)
+
+    @property
+    def by_tenant(self) -> Dict[str, float]:
+        """Delivered bytes per tenant (exact, order-independent sum)."""
+        return {
+            tenant: fsum(entries)
+            for tenant, entries in self._tenant_entries.items()
+        }
+
+    @property
+    def cross_dc_by_tenant(self) -> Dict[str, float]:
+        """Cross-datacenter delivered bytes per tenant."""
+        return {
+            tenant: fsum(entries)
+            for tenant, entries in self._tenant_wan_entries.items()
+        }
 
     # ------------------------------------------------------------------
     # Reporting helpers

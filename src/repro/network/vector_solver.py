@@ -26,7 +26,7 @@ of re-solving per departure (see :mod:`repro.network.cascade`).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Sequence, Tuple
+from typing import Dict, Hashable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -40,6 +40,7 @@ def progressive_fill(
     flow_of_entry: np.ndarray,
     capacities: np.ndarray,
     active: np.ndarray,
+    weights: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Max-min rates for the ``active`` flows of one constraint system.
 
@@ -54,10 +55,18 @@ def progressive_fill(
             every link referenced by an active flow).
         active: boolean mask of flows to solve; inactive flows get rate
             0 and consume nothing.
+        weights: optional per-flow weight array (> 0) for *weighted*
+            max-min fairness: a flow's rate is its weight times a
+            shared fair level.  ``None`` keeps the exact unweighted
+            code path (bit-identical for weight-1 callers).
 
     Returns:
         rates array (num_flows,), zero for inactive flows.
     """
+    if weights is not None:
+        return _progressive_fill_weighted(
+            indices, indptr, flow_of_entry, capacities, active, weights
+        )
     num_links = len(capacities)
     rates = np.zeros(len(indptr) - 1)
     if not active.any():
@@ -101,6 +110,65 @@ def progressive_fill(
     return rates
 
 
+def _progressive_fill_weighted(
+    indices: np.ndarray,
+    indptr: np.ndarray,
+    flow_of_entry: np.ndarray,
+    capacities: np.ndarray,
+    active: np.ndarray,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """Weighted twin of the unweighted fill loop above.
+
+    The per-link crossing *count* becomes the per-occurrence weight
+    sum; an integer carrier count rides along so a link whose carriers
+    all froze drops out exactly instead of surviving on float residue.
+    """
+    num_links = len(capacities)
+    rates = np.zeros(len(indptr) - 1)
+    if not active.any():
+        return rates
+    active = active.copy()
+    entry_active = active[flow_of_entry]
+    entry_weight = weights[flow_of_entry]
+    carriers = np.bincount(indices[entry_active], minlength=num_links)
+    crossing = np.bincount(
+        indices[entry_active],
+        weights=entry_weight[entry_active],
+        minlength=num_links,
+    )
+    residual = capacities.astype(float, copy=True)
+    floor = _EPSILON * np.maximum(1.0, residual)
+    while True:
+        carried = carriers > 0
+        if not carried.any():
+            break
+        bottleneck = np.min(residual[carried] / crossing[carried])
+        rates[active] += bottleneck * weights[active]
+        residual -= bottleneck * crossing
+        np.maximum(residual, 0.0, out=residual)
+        saturated = residual <= floor
+        frozen = active & np.logical_or.reduceat(
+            saturated[indices], indptr[:-1]
+        )
+        if not frozen.any():
+            frozen = active.copy()
+        active &= ~frozen
+        if not active.any():
+            break
+        frozen_entries = frozen[flow_of_entry] & entry_active
+        carriers -= np.bincount(indices[frozen_entries], minlength=num_links)
+        crossing -= np.bincount(
+            indices[frozen_entries],
+            weights=entry_weight[frozen_entries],
+            minlength=num_links,
+        )
+        entry_active &= ~frozen_entries
+        crossing[carriers <= 0] = 0.0
+        np.maximum(crossing, 0.0, out=crossing)
+    return rates
+
+
 def build_csr(
     routes: Sequence[np.ndarray],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -121,11 +189,13 @@ def build_csr(
 def max_min_fair_rates_numpy(
     flow_routes: Mapping[Hashable, Sequence[Hashable]],
     link_capacities: Mapping[Hashable, float],
+    flow_weights: Optional[Mapping[Hashable, float]] = None,
 ) -> Dict[Hashable, float]:
     """Drop-in vectorized equivalent of :func:`~repro.network.
     fair_share.max_min_fair_rates` (same dict API, same semantics:
     empty routes get ``inf``, capacity is consumed per traversal for
-    routes crossing a link more than once)."""
+    routes crossing a link more than once, optional per-flow weights
+    for weighted fairness — flows absent from the mapping weigh 1.0)."""
     rates: Dict[Hashable, float] = {}
     constrained = []
     for flow_id, route in flow_routes.items():
@@ -153,6 +223,15 @@ def max_min_fair_rates_numpy(
             row[position] = index
         routes.append(row)
 
+    weight_array: Optional[np.ndarray] = None
+    if flow_weights:
+        weight_array = np.empty(len(constrained))
+        for position, flow_id in enumerate(constrained):
+            weight = float(flow_weights.get(flow_id, 1.0))
+            if weight <= 0:
+                raise ValueError(f"flow {flow_id!r} has weight <= 0")
+            weight_array[position] = weight
+
     indices, indptr, flow_of_entry = build_csr(routes)
     solved = progressive_fill(
         indices,
@@ -160,6 +239,7 @@ def max_min_fair_rates_numpy(
         flow_of_entry,
         np.asarray(capacities),
         np.ones(len(constrained), dtype=bool),
+        weights=weight_array,
     )
     for position, flow_id in enumerate(constrained):
         rates[flow_id] = float(solved[position])

@@ -44,13 +44,25 @@ if TYPE_CHECKING:  # pragma: no cover
 class DAGScheduler:
     """One per cluster context; ``run_job`` is a simulation process."""
 
-    def __init__(self, context: "ClusterContext", metrics=None) -> None:
+    def __init__(
+        self,
+        context: "ClusterContext",
+        metrics=None,
+        tenant: Optional[str] = None,
+        allowed_hosts: Optional[frozenset] = None,
+    ) -> None:
         self.context = context
         self.sim = context.sim
         # Each scheduler instance drives one job at a time; concurrent
         # jobs use separate instances (ClusterContext.submit_job) with
         # their own metrics collectors.
         self.metrics = metrics if metrics is not None else context.metrics
+        # Multi-tenant identity: stamped onto every stage so the data
+        # path attributes (and fair-share-weights) the job's flows; the
+        # optional host share confines its tasks to the slice of the
+        # executor pool the inter-job scheduler granted.
+        self.tenant = tenant
+        self.allowed_hosts = allowed_hosts
         self._stage_processes: Dict[int, object] = {}
         self._task_done_events: Dict[int, List[Event]] = {}
         # Lineage recovery state (per job): in-flight parent-stage
@@ -66,6 +78,9 @@ class DAGScheduler:
     def run_job(self, final_rdd: RDD, action: str, save_path: Optional[str] = None):
         final_rdd = self.context.shuffle_service.prepare_job(final_rdd)
         result_stage, stages = build_stages(final_rdd)
+        if self.tenant is not None:
+            for stage in stages:
+                stage.tenant = self.tenant
         if action == "save":
             result_stage.save_path = save_path  # type: ignore[attr-defined]
         # Per-job state: stage processes and per-task completion events.
@@ -225,6 +240,7 @@ class DAGScheduler:
                 action=self._action if stage.kind is StageKind.RESULT else None,
             )
             task.recovery = recovery or fetch_failures > 0
+            task.allowed_hosts = self.allowed_hosts
             scheduler = self.context.task_scheduler
             if stage.is_receiver_stage and task.preferred_hosts:
                 # Receivers queue for the aggregator datacenter rather
@@ -324,7 +340,9 @@ class DAGScheduler:
         # consumer retries its read.
         dep = stage.outgoing_dep
         if isinstance(dep, ShuffleDependency):
-            yield from context.shuffle_service.on_blocks_lost(dep)
+            yield from context.shuffle_service.on_blocks_lost(
+                dep, tenant=stage.tenant or ""
+            )
 
     # ------------------------------------------------------------------
     # Speculative execution (spark.speculation)
@@ -379,6 +397,7 @@ class DAGScheduler:
             preferred_hosts=[],  # speculation runs wherever a slot frees
             action=self._action if stage.kind is StageKind.RESULT else None,
         )
+        task.allowed_hosts = self.allowed_hosts
         try:
             result: TaskResult = yield self.context.task_scheduler.submit(task)
         except FetchFailedError:

@@ -70,6 +70,10 @@ class Stage:
         # True once pre-combine already happened before the transfer, so
         # the shuffle write must merge combiners rather than values.
         self.combine_done = False
+        # Owning tenant of the job this stage belongs to (None for
+        # single-job runs); stamped by the DAGScheduler so every flow
+        # the stage's tasks issue can be attributed and weighted.
+        self.tenant: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property

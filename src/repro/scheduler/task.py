@@ -40,6 +40,10 @@ class Task:
         # datacenter even when its slots are momentarily busy.
         self.locality_wait_host: Optional[float] = None
         self.locality_wait_datacenter: Optional[float] = None
+        # Multi-tenant executor-pool partition: when set, the task may
+        # only run on these hosts (the inter-job scheduler's share for
+        # its job).  None means the whole cluster, as before.
+        self.allowed_hosts: Optional[frozenset] = None
 
     @property
     def preferred_datacenters(self) -> List[str]:

@@ -162,12 +162,14 @@ class TaskRunner:
         if action == "collect":
             size = context.estimator.estimate(records)
             yield context.fabric.transfer(
-                host, context.driver_host, size, tag="result"
+                host, context.driver_host, size, tag="result",
+                tenant=runtime.tenant,
             )
             return list(records)
         if action == "count":
             yield context.fabric.transfer(
-                host, context.driver_host, 8.0, tag="result"
+                host, context.driver_host, 8.0, tag="result",
+                tenant=runtime.tenant,
             )
             return [len(records)]
         if action == "save":

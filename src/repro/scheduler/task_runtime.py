@@ -43,6 +43,11 @@ class TaskRuntime:
         self.bytes_read_local = 0.0
         self.bytes_transferred_in = 0.0
 
+    @property
+    def tenant(self) -> str:
+        """The owning tenant of this attempt's job ("" single-job)."""
+        return self.task.stage.tenant or ""
+
     # ------------------------------------------------------------------
     # Materialisation
     # ------------------------------------------------------------------
@@ -54,7 +59,8 @@ class TaskRuntime:
             if entry is not None:
                 if entry.host != self.host:
                     yield self.context.fabric.transfer(
-                        entry.host, self.host, entry.size_bytes, tag="cache"
+                        entry.host, self.host, entry.size_bytes, tag="cache",
+                        tenant=self.tenant,
                     )
                     self.bytes_transferred_in += entry.size_bytes
                 return list(entry.records)
@@ -97,12 +103,13 @@ class TaskRuntime:
             ]
             yield from transfer_with_retry(
                 self.context, sources, self.host, block.size_bytes,
-                tag="input",
+                tag="input", tenant=self.tenant,
             )
         else:
             source = same_dc[0] if same_dc else locations[0]
             yield self.context.fabric.transfer(
-                source, self.host, block.size_bytes, tag="input"
+                source, self.host, block.size_bytes, tag="input",
+                tenant=self.tenant,
             )
         return list(block.records)
 
@@ -110,7 +117,8 @@ class TaskRuntime:
         """Ship parallelized driver data to this task's host."""
         size = self.context.estimator.estimate(records)
         yield self.context.fabric.transfer(
-            self.context.driver_host, self.host, size, tag="driver"
+            self.context.driver_host, self.host, size, tag="driver",
+            tenant=self.tenant,
         )
         return list(records)
 

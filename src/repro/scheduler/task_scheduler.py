@@ -186,7 +186,10 @@ class TaskScheduler:
         best: Optional[Tuple[int, int, int, _PendingEntry, str]] = None
         for entry in self._pending:
             vetoed = self._vetoed_hosts(entry.task)
+            allowed = self._allowed_hosts(entry.task)
             for host in free_hosts:
+                if allowed is not None and host not in allowed:
+                    continue
                 if vetoed is not None and host in vetoed:
                     self.blacklist.counters.placements_vetoed += 1
                     continue
@@ -204,6 +207,21 @@ class TaskScheduler:
         if best is None:
             return None
         return best[3], best[4]
+
+    def _allowed_hosts(self, task: Task) -> Optional[frozenset]:
+        """The executor-pool share ``task`` is confined to, or None.
+
+        Anti-starvation override (mirrors the blacklist veto): when no
+        allowed host is a live executor — e.g. the share's hosts all
+        died — the restriction is ignored so the job keeps making
+        progress on the survivors instead of deadlocking.
+        """
+        allowed = task.allowed_hosts
+        if not allowed:
+            return None
+        if not any(host in self.executors for host in allowed):
+            return None
+        return allowed
 
     def _vetoed_hosts(self, task: Task) -> Optional[set]:
         """The hosts the blacklist excludes for ``task``, or None.

@@ -60,10 +60,10 @@ class PreMergeBackend(ShuffleBackend):
     # ------------------------------------------------------------------
     # Pre-reduce consolidation
     # ------------------------------------------------------------------
-    def prepare_shuffle_input(self, dep: "ShuffleDependency"):
+    def prepare_shuffle_input(self, dep: "ShuffleDependency", tenant: str = ""):
         if dep.shuffle_id in self._merged:
             return
-        yield from self._consolidate(dep, recovery=False)
+        yield from self._consolidate(dep, recovery=False, tenant=tenant)
 
     def _choose_merger(
         self, datacenter: str, per_host: Dict[str, float]
@@ -103,7 +103,9 @@ class PreMergeBackend(ShuffleBackend):
             candidates, key=lambda host: (-per_host.get(host, 0.0), host)
         )
 
-    def _consolidate(self, dep: "ShuffleDependency", recovery: bool):
+    def _consolidate(
+        self, dep: "ShuffleDependency", recovery: bool, tenant: str = ""
+    ):
         shuffle_id = dep.shuffle_id
         self._merged.add(shuffle_id)
         context = self.context
@@ -159,7 +161,7 @@ class PreMergeBackend(ShuffleBackend):
                     flows.append(
                         context.fabric.transfer(
                             status.host, merger, status.total_size,
-                            tag="shuffle_merge",
+                            tag="shuffle_merge", tenant=tenant,
                         )
                     )
                     self._account_flow(
@@ -233,7 +235,8 @@ class PreMergeBackend(ShuffleBackend):
             else:
                 flows.append(
                     context.fabric.transfer(
-                        source, runtime.host, size, tag="shuffle"
+                        source, runtime.host, size, tag="shuffle",
+                        tenant=runtime.tenant,
                     )
                 )
                 self._account_flow(
@@ -267,13 +270,13 @@ class PreMergeBackend(ShuffleBackend):
             if merger == host:
                 del self._mergers[datacenter]
 
-    def on_blocks_lost(self, dep: "ShuffleDependency"):
+    def on_blocks_lost(self, dep: "ShuffleDependency", tenant: str = ""):
         """Mid-job recovery: the lost partitions were just recomputed at
         scattered hosts — consolidate them onto a *surviving* merger
         before any reducer retries, so recovered reads stay coalesced.
         The merge flows are tagged as recovery traffic."""
         self._merged.discard(dep.shuffle_id)
-        yield from self._consolidate(dep, recovery=True)
+        yield from self._consolidate(dep, recovery=True, tenant=tenant)
 
     def merger_host(self, datacenter: str) -> str | None:
         return self._mergers.get(datacenter)

@@ -122,7 +122,7 @@ class ShuffleBackend:
     def on_host_failure(self, host: str) -> None:
         """Invalidate backend state referring to ``host`` (no-op here)."""
 
-    def on_blocks_lost(self, dep: "ShuffleDependency"):
+    def on_blocks_lost(self, dep: "ShuffleDependency", tenant: str = ""):
         """Simulation process run by the DAG scheduler after the lost
         partitions of ``dep``'s producing stage were recomputed, before
         any consumer retries its read.
@@ -143,10 +143,11 @@ class ShuffleBackend:
     # ------------------------------------------------------------------
     # Pre-reduce reorganisation
     # ------------------------------------------------------------------
-    def prepare_shuffle_input(self, dep: "ShuffleDependency"):
+    def prepare_shuffle_input(self, dep: "ShuffleDependency", tenant: str = ""):
         """Simulation process run after the map barrier, before the
         consuming stage's tasks launch.  The pre-merge backend uses it to
-        consolidate map output per datacenter; fetch/push do nothing."""
+        consolidate map output per datacenter; fetch/push do nothing.
+        ``tenant`` attributes the consolidation flows it may issue."""
         return
         yield  # pragma: no cover - makes this a generator
 
@@ -167,6 +168,7 @@ class ShuffleBackend:
         context = self.context
         statuses = context.map_output_tracker.map_statuses(dep.shuffle_id)
         store = context.shuffle_store
+        tenant = runtime.task.stage.tenant or ""
         self.counters.reduce_reads += 1
         records: List[Any] = []
         flows = []
@@ -202,7 +204,7 @@ class ShuffleBackend:
                     flows.append(
                         context.fabric.transfer(
                             status.host, runtime.host, shard.size_bytes,
-                            tag="shuffle",
+                            tag="shuffle", tenant=tenant,
                         )
                     )
                     self._account_flow(
@@ -248,6 +250,7 @@ class ShuffleBackend:
             runtime.host,
             size_bytes,
             tag="shuffle",
+            tenant=runtime.task.stage.tenant or "",
             on_issue=lambda src: self._account_flow(
                 src, runtime.host, size_bytes,
                 shuffle_id=dep.shuffle_id, recovery=recovery,
@@ -289,6 +292,7 @@ class ShuffleBackend:
         if staged.host != runtime.host and staged.size_bytes > 0:
             runtime.bytes_transferred_in += staged.size_bytes
             recovery = runtime.task.recovery
+            tenant = runtime.task.stage.tenant or ""
             if self.context.config.health.flow_retry_enabled:
                 tracker = self.context.transfer_tracker
 
@@ -302,6 +306,7 @@ class ShuffleBackend:
                     runtime.host,
                     staged.size_bytes,
                     tag="transfer_to",
+                    tenant=tenant,
                     on_issue=lambda src: self._account_flow(
                         src, runtime.host, staged.size_bytes,
                         recovery=recovery,
@@ -314,7 +319,7 @@ class ShuffleBackend:
             else:
                 flow = self.context.fabric.transfer(
                     staged.host, runtime.host, staged.size_bytes,
-                    tag="transfer_to",
+                    tag="transfer_to", tenant=tenant,
                 )
                 # Account at flow creation, not completion: if this
                 # attempt is interrupted (executor crash) the fabric
@@ -396,7 +401,9 @@ class ShuffleService:
             if dep.shuffle_id in seen:
                 continue
             seen.add(dep.shuffle_id)
-            yield from self.backend.prepare_shuffle_input(dep)
+            yield from self.backend.prepare_shuffle_input(
+                dep, tenant=stage.tenant or ""
+            )
 
     def shuffle_read(
         self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
@@ -437,8 +444,8 @@ class ShuffleService:
     def on_host_failure(self, host: str) -> None:
         self.backend.on_host_failure(host)
 
-    def on_blocks_lost(self, dep: "ShuffleDependency"):
-        yield from self.backend.on_blocks_lost(dep)
+    def on_blocks_lost(self, dep: "ShuffleDependency", tenant: str = ""):
+        yield from self.backend.on_blocks_lost(dep, tenant=tenant)
 
     def merger_host(self, datacenter: str) -> Optional[str]:
         return self.backend.merger_host(datacenter)

@@ -6,6 +6,9 @@ from hypothesis import given, strategies as st
 from repro.metrics.stats import (
     interquartile_range,
     median,
+    p95,
+    p99,
+    percentile,
     reduction_percent,
     summarize,
     trimmed_mean,
@@ -100,3 +103,50 @@ def test_trimming_reduces_or_keeps_spread_influence(values):
         trimmed_mean(values + [outlier]) - trimmed_mean(values)
     )
     assert trimmed_shift <= plain_shift + 1e-6
+
+
+# ----------------------------------------------------------------------
+# percentile / p95 / p99 (tail-latency reporting for per-tenant JCTs)
+# ----------------------------------------------------------------------
+def test_percentile_boundaries():
+    values = [4.0, 1.0, 3.0, 2.0]
+    assert percentile(values, 0) == 1.0
+    assert percentile(values, 100) == 4.0
+    assert percentile(values, 50) == median(values) == 2.5
+
+
+def test_percentile_interpolates_between_ranks():
+    # Position 0.95 * 3 = 2.85 between 3.0 and 4.0.
+    assert percentile([1.0, 2.0, 3.0, 4.0], 95) == pytest.approx(3.85)
+
+
+def test_percentile_single_element():
+    for q in (0, 37.5, 95, 100):
+        assert percentile([7.0], q) == 7.0
+
+
+def test_percentile_rejects_out_of_range_q():
+    for bad in (-0.1, 100.1, 1000):
+        with pytest.raises(ValueError):
+            percentile([1.0], bad)
+
+
+def test_percentile_rejects_empty():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_p95_p99_conventions():
+    values = list(range(1, 101))  # 1..100
+    assert p95(values) == pytest.approx(percentile(values, 95))
+    assert p99(values) == pytest.approx(percentile(values, 99))
+    assert p95(values) == pytest.approx(95.05)
+    assert p99(values) == pytest.approx(99.01)
+
+
+@given(floats, st.floats(0, 100))
+def test_percentile_is_bounded_and_monotone(values, q):
+    ordered = sorted(values)
+    result = percentile(values, q)
+    assert ordered[0] <= result <= ordered[-1]
+    assert percentile(values, 0) <= result <= percentile(values, 100)

@@ -69,3 +69,49 @@ def test_profile_flag_appends_cprofile_report(capsys):
     assert "Sort / Spark" in out
     assert "cProfile — top 5 by cumulative time" in out
     assert "cumtime" in out
+
+
+# ----------------------------------------------------------------------
+# stream subcommand (multi-tenant job streams)
+# ----------------------------------------------------------------------
+def test_stream_command_prints_tenant_table(capsys):
+    code = main([
+        "stream",
+        "--arrival", "poisson:120:6",
+        "--tenants", "prod:4,batch:1:2",
+        "--policy", "fair",
+        "--scheme", "spark",
+        "--max-concurrent", "2",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "prod" in out and "batch" in out
+    assert "jobs" in out.lower()
+
+
+def test_stream_bad_arrival_rate_names_token(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["stream", "--arrival", "poisson:xx:15"])
+    message = str(excinfo.value)
+    assert "--arrival" in message
+    assert "'xx'" in message
+
+
+def test_stream_unknown_arrival_process_named(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["stream", "--arrival", "warp:12:15"])
+    assert "'warp'" in str(excinfo.value)
+
+
+def test_stream_bad_tenant_weight_names_token(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["stream", "--tenants", "alpha:heavy"])
+    message = str(excinfo.value)
+    assert "--tenants" in message
+    assert "'heavy'" in message
+
+
+def test_stream_unknown_policy_rejected(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["stream", "--policy", "lottery"])
+    assert "'lottery'" in str(excinfo.value)
