@@ -57,7 +57,7 @@ def test_small_job_end_to_end(benchmark):
     def run_job():
         context = make_context(push=True)
         context.write_input_file(
-            "/in", [[("k%d" % i, 1) for i in range(20)] for _ in range(4)]
+            "/in", [[(f"k{i}", 1) for i in range(20)] for _ in range(4)]
         )
         result = (
             context.text_file("/in")

@@ -1,0 +1,532 @@
+"""The ``repro lint`` rule engine.
+
+An AST-based linter purpose-built for this repro's invariants: the
+generic linters (ruff) catch generic defects, while these rules encode
+*project* conventions — all randomness through
+:class:`~repro.simulation.random_source.RandomSource`, no wall-clock in
+simulation paths, ``fsum`` in accounting, sorted iteration where order
+leaks into results — that nothing else machine-checks.
+
+Building blocks:
+
+* :class:`Rule` — one check over one parsed module; registered in
+  :data:`RULE_REGISTRY` via :func:`register_rule`.
+* :class:`LintConfig` — knobs loaded from ``[tool.repro-lint]`` in
+  ``pyproject.toml`` (module allow-lists per rule, hot-path class
+  list, rule selection).
+* pragma suppression — ``# repro-lint: allow[RULE] reason`` on (or
+  immediately above) the offending line silences that rule there; a
+  pragma **must** carry a reason or the engine reports LNT001, which
+  cannot itself be suppressed.
+* :func:`lint_paths` — walk files/directories, apply every selected
+  rule, resolve suppressions, and return :class:`Finding`\\ s.
+
+Exit-code contract of the CLI built on top: 0 = clean (every finding
+suppressed with a reason), 1 = unsuppressed findings, 2 = usage or
+configuration error.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Findings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+    reason: str = ""
+
+    def format(self) -> str:
+        suffix = f"  (suppressed: {self.reason})" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{suffix}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+            "reason": self.reason,
+        }
+
+
+# Engine-level findings (pragma misuse, parse errors).  LNT001 is
+# deliberately unsuppressable: a reasonless suppression must not be able
+# to hide itself.
+LNT_NO_REASON = "LNT001"
+LNT_UNKNOWN_RULE = "LNT002"
+LNT_PARSE = "LNT003"
+_UNSUPPRESSABLE = frozenset({LNT_NO_REASON})
+
+
+# ---------------------------------------------------------------------------
+# Configuration ([tool.repro-lint] in pyproject.toml)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Rule selection and per-rule module scoping.
+
+    Module lists are fnmatch globs over dotted module names
+    (``repro.network.*``).  TOML keys use dashes (``rng-allowed``);
+    they map onto these fields with dashes replaced by underscores.
+    """
+
+    # Rules to run; empty tuple means every registered rule.
+    select: Tuple[str, ...] = ()
+    # Path globs to skip entirely.
+    exclude: Tuple[str, ...] = ()
+    # DET001: modules allowed to touch the stdlib/numpy RNG directly.
+    rng_allowed: Tuple[str, ...] = ("repro.simulation.random_source",)
+    # DET002: modules allowed to read the wall clock.
+    wallclock_allowed: Tuple[str, ...] = ()
+    # DET003: modules whose iteration order leaks into results.
+    ordering_sensitive: Tuple[str, ...] = (
+        "repro.scheduler.*",
+        "repro.network.*",
+        "repro.shuffle.*",
+        "repro.simulation.*",
+    )
+    # ACC001: modules doing byte/dollar accounting.
+    accounting_modules: Tuple[str, ...] = (
+        "repro.metrics.*",
+        "repro.network.traffic_monitor",
+    )
+    # PERF001: "module:ClassName" entries that must define __slots__.
+    slots_classes: Tuple[str, ...] = ()
+
+    def module_matches(self, module: str, globs: Iterable[str]) -> bool:
+        return any(fnmatch.fnmatchcase(module, glob) for glob in globs)
+
+
+_CONFIG_FIELDS = {f.name for f in fields(LintConfig)}
+
+
+def _read_lint_section(pyproject: Path) -> Dict[str, object]:
+    """The raw ``[tool.repro-lint]`` table from ``pyproject``.
+
+    Uses :mod:`tomllib` when available (3.11+); on 3.10 falls back to a
+    line parser covering exactly the shape this section uses — string
+    lists, possibly multi-line, with comments — so the linter behaves
+    identically across the CI matrix.
+    """
+    try:
+        text = pyproject.read_text(encoding="utf-8")
+    except OSError as error:
+        raise ConfigurationError(f"cannot read {pyproject}: {error}") from error
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # pragma: no cover - Python 3.10 path
+        return _parse_lint_section_fallback(text, pyproject)
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as error:
+        raise ConfigurationError(
+            f"invalid TOML in {pyproject}: {error}"
+        ) from error
+    return data.get("tool", {}).get("repro-lint", {})
+
+
+def _parse_lint_section_fallback(
+    text: str, pyproject: Path
+) -> Dict[str, object]:
+    """Minimal [tool.repro-lint] reader for interpreters without tomllib."""
+    section: Dict[str, object] = {}
+    in_section = False
+    key: Optional[str] = None
+    items: List[str] = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            in_section = line == "[tool.repro-lint]"
+            continue
+        if not in_section:
+            continue
+        if key is None:
+            name, eq, rest = line.partition("=")
+            if not eq:
+                raise ConfigurationError(
+                    f"cannot parse [tool.repro-lint] line {line!r} in "
+                    f"{pyproject} (fallback parser supports string lists only)"
+                )
+            key, line = name.strip(), rest.strip()
+            items = []
+            if not line.startswith("["):
+                raise ConfigurationError(
+                    f"[tool.repro-lint] {key} must be a list of strings "
+                    f"({pyproject})"
+                )
+            line = line[1:]
+        closed = line.endswith("]")
+        if closed:
+            line = line[:-1]
+        items.extend(re.findall(r'"([^"]*)"', line))
+        if closed:
+            section[key] = items
+            key = None
+    return section
+
+
+def load_config(pyproject: Optional[Path] = None) -> LintConfig:
+    """Load ``[tool.repro-lint]`` from ``pyproject`` (or defaults).
+
+    When ``pyproject`` is None the file is searched upward from the
+    current directory.  Unknown keys raise :class:`ConfigurationError`
+    — a typo in the config must not silently disable a rule.
+    """
+    if pyproject is None:
+        for candidate in [Path.cwd(), *Path.cwd().parents]:
+            found = candidate / "pyproject.toml"
+            if found.is_file():
+                pyproject = found
+                break
+        else:
+            return LintConfig()
+    section = _read_lint_section(pyproject)
+    overrides: Dict[str, Tuple[str, ...]] = {}
+    for key, value in section.items():
+        name = key.replace("-", "_")
+        if name not in _CONFIG_FIELDS:
+            raise ConfigurationError(
+                f"unknown [tool.repro-lint] key {key!r} in {pyproject}"
+            )
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise ConfigurationError(
+                f"[tool.repro-lint] {key} must be a list of strings"
+            )
+        overrides[name] = tuple(value)
+    return replace(LintConfig(), **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Parsed-module context shared by the rules
+# ---------------------------------------------------------------------------
+
+
+class ModuleInfo:
+    """One parsed source file plus the lookups rules need."""
+
+    def __init__(self, path: Path, source: str, module: str) -> None:
+        self.path = path
+        self.source = source
+        self.module = module
+        self.tree = ast.parse(source, filename=str(path))
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        """child node -> parent node (built lazily, once per module)."""
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for ``path`` (``src`` package layout aware)."""
+    parts = list(path.resolve().with_suffix("").parts)
+    for anchor in ("src", "repro"):
+        if anchor in parts:
+            index = parts.index(anchor)
+            if anchor == "src":
+                index += 1
+            dotted = parts[index:]
+            if dotted and dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            if dotted:
+                return ".".join(dotted)
+    return path.stem
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+
+class Rule:
+    """Base class: subclasses set ``name``/``summary`` and implement check."""
+
+    name = ""
+    summary = ""
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(
+        self, info: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule=self.name,
+            message=message,
+            path=str(info.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+        )
+
+
+RULE_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator adding one Rule instance to the registry."""
+    rule = cls()
+    if not rule.name:
+        raise ValueError(f"rule {cls.__name__} has no name")
+    if rule.name in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name}")
+    RULE_REGISTRY[rule.name] = rule
+    return cls
+
+
+def known_rules() -> Tuple[str, ...]:
+    _ensure_rules_loaded()
+    return tuple(sorted(RULE_REGISTRY))
+
+
+def _ensure_rules_loaded() -> None:
+    # The rules module registers itself on import; importing it here
+    # keeps `from repro.analysis.engine import lint_paths` self-contained.
+    import repro.analysis.rules  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Pragma suppression
+# ---------------------------------------------------------------------------
+
+# Grammar:   # repro-lint: allow[RULE{,RULE}] <reason text>
+# A pragma suppresses matching findings on its own line; a pragma on a
+# comment-only line suppresses the next line instead (for statements too
+# long to share a line with their justification).
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[A-Za-z0-9_*,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class _Suppression:
+    rules: Tuple[str, ...]
+    reason: str
+    pragma_line: int
+    used: bool = False
+
+    def covers(self, rule: str) -> bool:
+        return "*" in self.rules or rule in self.rules
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, int, str, str]]:
+    """(line, col, comment text, full line) for every real COMMENT token.
+
+    Tokenizing — rather than regex-scanning raw lines — keeps pragma
+    text inside string literals and docstrings inert (e.g. the grammar
+    example in this module's own docstring)."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string, token.line
+    except tokenize.TokenError:  # pragma: no cover - parse already succeeded
+        return
+
+
+def _parse_suppressions(
+    info: ModuleInfo,
+) -> Tuple[Dict[int, List[_Suppression]], List[Finding]]:
+    """line number -> suppressions active there, plus pragma-misuse findings."""
+    by_line: Dict[int, List[_Suppression]] = {}
+    problems: List[Finding] = []
+    for lineno, col, comment, text in _iter_comments(info.source):
+        match = _PRAGMA.search(comment)
+        if match is None:
+            continue
+        rules = tuple(
+            token.strip() for token in match.group("rules").split(",") if token.strip()
+        )
+        reason = match.group("reason").strip()
+        unknown = [
+            token
+            for token in rules
+            if token != "*" and token not in RULE_REGISTRY
+        ]
+        if unknown:
+            problems.append(
+                Finding(
+                    rule=LNT_UNKNOWN_RULE,
+                    message=(
+                        f"pragma names unknown rule(s) {', '.join(unknown)} "
+                        f"(known: {', '.join(known_rules())})"
+                    ),
+                    path=str(info.path),
+                    line=lineno,
+                )
+            )
+        if not reason:
+            problems.append(
+                Finding(
+                    rule=LNT_NO_REASON,
+                    message="suppression pragma must carry a written reason",
+                    path=str(info.path),
+                    line=lineno,
+                )
+            )
+            continue
+        suppression = _Suppression(rules, reason, lineno)
+        target = lineno
+        if not text[:col].strip():
+            # Comment-only line: the pragma shields the next line.
+            target = lineno + 1
+        by_line.setdefault(target, []).append(suppression)
+    return by_line, problems
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class LintEngine:
+    """Applies the selected rules to modules and resolves suppressions."""
+
+    def __init__(self, config: Optional[LintConfig] = None) -> None:
+        _ensure_rules_loaded()
+        self.config = config if config is not None else LintConfig()
+        selected = self.config.select or tuple(sorted(RULE_REGISTRY))
+        unknown = [name for name in selected if name not in RULE_REGISTRY]
+        if unknown:
+            raise ConfigurationError(
+                f"unknown rule(s) in select: {', '.join(unknown)} "
+                f"(known: {', '.join(known_rules())})"
+            )
+        self.rules: List[Rule] = [RULE_REGISTRY[name] for name in selected]
+
+    # -- single-module entry points ------------------------------------
+    def lint_source(
+        self, source: str, path: str = "<string>", module: Optional[str] = None
+    ) -> List[Finding]:
+        """Lint one source string (the fixture-test entry point)."""
+        as_path = Path(path)
+        if module is None:
+            module = module_name_for(as_path)
+        try:
+            info = ModuleInfo(as_path, source, module)
+        except SyntaxError as error:
+            return [
+                Finding(
+                    rule=LNT_PARSE,
+                    message=f"syntax error: {error.msg}",
+                    path=path,
+                    line=error.lineno or 1,
+                )
+            ]
+        return self._lint_module(info)
+
+    def lint_file(self, path: Path) -> List[Finding]:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            raise ConfigurationError(f"cannot read {path}: {error}") from error
+        return self.lint_source(source, path=str(path))
+
+    def _lint_module(self, info: ModuleInfo) -> List[Finding]:
+        suppressions, findings = _parse_suppressions(info)
+        for rule in self.rules:
+            for finding in rule.check(info, self.config):
+                findings.append(self._resolve(finding, suppressions))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings
+
+    @staticmethod
+    def _resolve(
+        finding: Finding, suppressions: Dict[int, List[_Suppression]]
+    ) -> Finding:
+        if finding.rule in _UNSUPPRESSABLE:
+            return finding
+        for suppression in suppressions.get(finding.line, ()):
+            if suppression.covers(finding.rule):
+                suppression.used = True
+                return replace(
+                    finding, suppressed=True, reason=suppression.reason
+                )
+        return finding
+
+
+def iter_python_files(paths: Iterable[Path], exclude: Tuple[str, ...] = ()) -> Iterator[Path]:
+    """Yield .py files under ``paths`` in sorted order (deterministic)."""
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise ConfigurationError(f"not a python file or directory: {path}")
+        for candidate in candidates:
+            name = str(candidate)
+            if any(fnmatch.fnmatch(name, glob) for glob in exclude):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[Path], config: Optional[LintConfig] = None
+) -> List[Finding]:
+    """Lint every python file under ``paths``; returns all findings
+    (suppressed ones included, flagged as such)."""
+    engine = LintEngine(config)
+    findings: List[Finding] = []
+    exclude = engine.config.exclude
+    for path in iter_python_files(paths, exclude):
+        findings.extend(engine.lint_file(path))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Output formatting
+# ---------------------------------------------------------------------------
+
+
+def format_findings(
+    findings: List[Finding], as_json: bool = False, show_suppressed: bool = False
+) -> str:
+    """Human or JSON report.  Suppressed findings are hidden by default."""
+    visible = [f for f in findings if show_suppressed or not f.suppressed]
+    if as_json:
+        return json.dumps([f.as_dict() for f in visible], indent=2)
+    lines = [f.format() for f in visible]
+    active = sum(1 for f in findings if not f.suppressed)
+    suppressed = len(findings) - active
+    lines.append(
+        f"{active} finding(s), {suppressed} suppressed"
+        if findings
+        else "clean: no findings"
+    )
+    return "\n".join(lines)

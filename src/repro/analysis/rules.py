@@ -1,0 +1,494 @@
+"""The determinism & accounting rule catalogue (see DESIGN.md §13).
+
+==========  =============================================================
+DET001      stdlib/numpy RNG outside ``repro.simulation.random_source``
+DET002      wall-clock reads in simulation paths
+DET003      iteration over unordered sets in ordering-sensitive modules
+DET004      ``id()`` used in sort keys, dict keys, or comparisons
+ACC001      order-dependent float ``+=`` loops in accounting modules
+PERF001     configured hot-path classes missing ``__slots__``
+==========  =============================================================
+
+All rules are purely syntactic (no type inference): DET003 tracks only
+set literals/comprehensions/``set()`` calls and names assigned from
+them within the enclosing scope, so a set that arrives through a
+function return is invisible to it.  The runtime sanitizer
+(:mod:`repro.analysis.sanitizer`) is the complementary dynamic net.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set
+
+from repro.analysis.engine import (
+    Finding,
+    LintConfig,
+    ModuleInfo,
+    Rule,
+    register_rule,
+)
+
+# ---------------------------------------------------------------------------
+# DET001 — module-level RNG
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class NoModuleLevelRandom(Rule):
+    name = "DET001"
+    summary = (
+        "randomness must flow through repro.simulation.random_source; "
+        "module-level random/numpy.random state breaks seeded replay"
+    )
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if config.module_matches(info.module, config.rng_allowed):
+            return
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "numpy.random"
+                    ):
+                        yield self.finding(
+                            info,
+                            node,
+                            f"import of {alias.name!r}: draw from a seeded "
+                            "RandomSource stream instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "random" or module.startswith("numpy.random"):
+                    yield self.finding(
+                        info,
+                        node,
+                        f"import from {module!r}: draw from a seeded "
+                        "RandomSource stream instead",
+                    )
+                elif module == "numpy" and any(
+                    alias.name == "random" for alias in node.names
+                ):
+                    yield self.finding(
+                        info,
+                        node,
+                        "import of numpy.random: draw from a seeded "
+                        "RandomSource stream instead",
+                    )
+            elif isinstance(node, ast.Attribute):
+                # np.random.* / numpy.random.* attribute chains.
+                value = node.value
+                if (
+                    node.attr == "random"
+                    and isinstance(value, ast.Name)
+                    and value.id in ("np", "numpy")
+                ):
+                    yield self.finding(
+                        info,
+                        node,
+                        f"use of {value.id}.random: draw from a seeded "
+                        "RandomSource stream instead",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# DET002 — wall-clock in simulation paths
+# ---------------------------------------------------------------------------
+
+_TIME_FUNCS = frozenset(
+    {
+        "time",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+@register_rule
+class NoWallClock(Rule):
+    name = "DET002"
+    summary = (
+        "simulation paths must use Simulator.now, never the wall clock "
+        "(time.*/datetime.now)"
+    )
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if config.module_matches(info.module, config.wallclock_allowed):
+            return
+        # Names imported directly from the time module in this file
+        # (``from time import perf_counter``).
+        bare_time_names: Set[str] = set()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FUNCS:
+                        bare_time_names.add(alias.asname or alias.name)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in bare_time_names:
+                yield self.finding(
+                    info,
+                    node,
+                    f"wall-clock call {func.id}(): simulated components "
+                    "must read Simulator.now",
+                )
+            elif isinstance(func, ast.Attribute):
+                base = func.value
+                if (
+                    func.attr in _TIME_FUNCS
+                    and isinstance(base, ast.Name)
+                    and base.id == "time"
+                ):
+                    yield self.finding(
+                        info,
+                        node,
+                        f"wall-clock call time.{func.attr}(): simulated "
+                        "components must read Simulator.now",
+                    )
+                elif func.attr in _DATETIME_FUNCS and (
+                    (isinstance(base, ast.Name) and base.id == "datetime")
+                    or (
+                        isinstance(base, ast.Attribute)
+                        and base.attr == "datetime"
+                        and isinstance(base.value, ast.Name)
+                        and base.value.id == "datetime"
+                    )
+                ):
+                    yield self.finding(
+                        info,
+                        node,
+                        f"wall-clock call datetime.{func.attr}(): simulated "
+                        "components must read Simulator.now",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered set iteration where order leaks into results
+# ---------------------------------------------------------------------------
+
+# Consumers whose result is independent of element order.
+_ORDER_FREE_CALLS = frozenset(
+    {
+        "sorted",
+        "min",
+        "max",
+        "sum",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "fsum",
+        "bool",
+    }
+)
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+class _SetIterationVisitor(ast.NodeVisitor):
+    """Walks one scope in statement order, tracking set-typed names."""
+
+    def __init__(self, rule: Rule, info: ModuleInfo) -> None:
+        self.rule = rule
+        self.info = info
+        self.set_names: Set[str] = set()
+        self.findings: List[Finding] = []
+
+    # -- name tracking -------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        is_set = _is_set_expr(node.value, self.set_names)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                if is_set:
+                    self.set_names.add(target.id)
+                else:
+                    self.set_names.discard(target.id)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name) and node.value is not None:
+            if _is_set_expr(node.value, self.set_names):
+                self.set_names.add(node.target.id)
+            else:
+                self.set_names.discard(node.target.id)
+
+    # -- nested scopes get fresh trackers ------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested(node)
+
+    def _nested(self, node: ast.AST) -> None:
+        nested = _SetIterationVisitor(self.rule, self.info)
+        for child in ast.iter_child_nodes(node):
+            nested.visit(child)
+        self.findings.extend(nested.findings)
+
+    # -- iteration sites -----------------------------------------------
+    def _check_iter(self, iter_node: ast.AST) -> None:
+        if _is_set_expr(iter_node, self.set_names):
+            name = (
+                f" {iter_node.id!r}" if isinstance(iter_node, ast.Name) else ""
+            )
+            self.findings.append(
+                self.rule.finding(
+                    self.info,
+                    iter_node,
+                    f"iteration over unordered set{name} in an "
+                    "ordering-sensitive module: wrap in sorted(...) so "
+                    "results cannot depend on hash order",
+                )
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node) -> None:
+        for generator in node.generators:
+            self._check_iter(generator.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comp(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comp(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comp(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # A set comprehension *over* a set produces another set —
+        # order-free in itself, so only its nested generators matter.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list(s) / tuple(s) / enumerate(s) materialize hash order;
+        # sorted(s)/min(s)/... are order-free and skipped.
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in (
+            "list",
+            "tuple",
+            "enumerate",
+            "iter",
+            "reversed",
+        ):
+            for arg in node.args[:1]:
+                self._check_iter(arg)
+        self.generic_visit(node)
+
+
+@register_rule
+class NoUnorderedSetIteration(Rule):
+    name = "DET003"
+    summary = (
+        "iterating a set in an ordering-sensitive module leaks "
+        "memory-address ordering into results; wrap in sorted()"
+    )
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if not config.module_matches(info.module, config.ordering_sensitive):
+            return
+        visitor = _SetIterationVisitor(self, info)
+        visitor.visit(info.tree)
+        yield from visitor.findings
+
+
+# ---------------------------------------------------------------------------
+# DET004 — id() in ordering/keying positions
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class NoIdInOrdering(Rule):
+    name = "DET004"
+    summary = (
+        "id() values are memory addresses — different every run; never "
+        "sort, key, or compare on them"
+    )
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        parents = info.parents
+        for node in ast.walk(info.tree):
+            # sorted(xs, key=id) — id passed bare as a key function.
+            if (
+                isinstance(node, ast.keyword)
+                and node.arg == "key"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "id"
+            ):
+                yield self.finding(
+                    info, node.value, "id used as a sort key function"
+                )
+                continue
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+            ):
+                continue
+            context = self._ordering_context(node, parents)
+            if context is not None:
+                yield self.finding(
+                    info, node, f"id() used in {context}"
+                )
+
+    @staticmethod
+    def _ordering_context(
+        node: ast.Call, parents: Dict[ast.AST, ast.AST]
+    ) -> str | None:
+        child: ast.AST = node
+        parent = parents.get(child)
+        while parent is not None and not isinstance(
+            parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Module)
+        ):
+            if isinstance(parent, ast.Compare):
+                return "a comparison"
+            if isinstance(parent, ast.Dict) and child in parent.keys:
+                return "a dict key"
+            if isinstance(parent, ast.Subscript) and child is parent.slice:
+                return "a subscript key"
+            if isinstance(parent, ast.keyword) and parent.arg == "key":
+                return "a sort key"
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in ("hash", "sorted", "min", "max")
+            ):
+                return f"{parent.func.id}()"
+            child, parent = parent, parents.get(parent)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# ACC001 — float += accumulation loops in accounting modules
+# ---------------------------------------------------------------------------
+
+
+@register_rule
+class NoFloatAccumulationLoops(Rule):
+    name = "ACC001"
+    summary = (
+        "running float += in accounting loops drifts with accumulation "
+        "order; collect terms and reduce with math.fsum"
+    )
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        if not config.module_matches(info.module, config.accounting_modules):
+            return
+        for loop in ast.walk(info.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for node in ast.walk(loop):
+                if not (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                ):
+                    continue
+                value = node.value
+                # Integer-literal increments are exact counters, not
+                # float accumulation.
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, int
+                ):
+                    continue
+                yield self.finding(
+                    info,
+                    node,
+                    "float accumulation with += inside a loop in an "
+                    "accounting module: gather the terms and math.fsum "
+                    "them so totals are accumulation-order-free",
+                )
+
+
+# ---------------------------------------------------------------------------
+# PERF001 — hot-path classes must carry __slots__
+# ---------------------------------------------------------------------------
+
+
+def _class_has_slots(cls: ast.ClassDef) -> bool:
+    for statement in cls.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+@register_rule
+class HotPathSlots(Rule):
+    name = "PERF001"
+    summary = (
+        "configured hot-path classes must define __slots__ (allocation "
+        "volume makes per-instance __dict__ cost real)"
+    )
+
+    def check(self, info: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        wanted: Dict[str, bool] = {}
+        for entry in config.slots_classes:
+            module, _, class_name = entry.partition(":")
+            if not class_name:
+                yield Finding(
+                    rule=self.name,
+                    message=(
+                        f"malformed slots-classes entry {entry!r} "
+                        "(expected 'module:ClassName')"
+                    ),
+                    path=str(info.path),
+                    line=1,
+                )
+                continue
+            if module == info.module:
+                wanted[class_name] = False
+        if not wanted:
+            return
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ClassDef) and node.name in wanted:
+                wanted[node.name] = True
+                if not _class_has_slots(node):
+                    yield self.finding(
+                        info,
+                        node,
+                        f"hot-path class {node.name} defines no __slots__",
+                    )
+        for class_name, found in sorted(wanted.items()):
+            if not found:
+                yield Finding(
+                    rule=self.name,
+                    message=(
+                        f"configured hot-path class {class_name} not found "
+                        f"in {info.module} (stale slots-classes entry?)"
+                    ),
+                    path=str(info.path),
+                    line=1,
+                )

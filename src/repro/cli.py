@@ -80,7 +80,33 @@ def _plan(
     return ExperimentPlan(seeds=tuple(range(seeds)), base_config=base_config)
 
 
+def _maybe_sanitize(args: argparse.Namespace):
+    """Install the runtime invariant sanitizer when ``--sanitize`` was
+    given (must happen before the cluster is built: components capture
+    the sanitizer at construction).  Also returns the sanitizer armed
+    by ``REPRO_SANITIZE`` so env-enabled runs report their check
+    counts too."""
+    from repro.analysis import sanitizer as sanitizer_module
+
+    if getattr(args, "sanitize", False):
+        return sanitizer_module.enable()
+    return sanitizer_module.get_sanitizer()
+
+
+def _print_sanitize_report(sanitizer) -> None:
+    if sanitizer is None:
+        return
+    counts = sanitizer.snapshot()
+    print(
+        "  sanitizer       : all invariants held — "
+        + ", ".join(
+            f"{name} x{count:.0f}" for name, count in sorted(counts.items())
+        )
+    )
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    sanitizer = _maybe_sanitize(args)
     workload = workload_by_name(args.workload)
     scheme = _scheme(args.scheme)
     health = None
@@ -180,6 +206,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"{health_counters['reelections']:.0f} re-election(s), "
             f"{health_counters['fallback_activations']:.0f} fallback(s)"
         )
+    _print_sanitize_report(sanitizer)
     return 0
 
 
@@ -270,6 +297,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.scheduler.job_scheduler import JOB_POLICIES
     from repro.workloads.arrivals import StreamSpec
 
+    sanitizer = _maybe_sanitize(args)
     if args.policy not in JOB_POLICIES:
         raise SystemExit(
             f"--policy: unknown policy {args.policy!r} "
@@ -326,7 +354,36 @@ def cmd_stream(args: argparse.Namespace) -> int:
             f"{row.get('wan_bytes', 0.0) / 1e6:.1f}",
         ])
     print(format_table(headers, rows))
+    _print_sanitize_report(sanitizer)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.engine import (
+        format_findings,
+        lint_paths,
+        load_config,
+    )
+    from repro.errors import ConfigurationError
+
+    try:
+        config = load_config(
+            Path(args.config) if args.config is not None else None
+        )
+        findings = lint_paths([Path(p) for p in args.paths], config)
+    except ConfigurationError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    print(
+        format_findings(
+            findings,
+            as_json=args.json,
+            show_suppressed=args.show_suppressed,
+        )
+    )
+    return 1 if any(not f.suppressed for f in findings) else 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -475,6 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
         "circuit breakers: transient degradations are absorbed by "
         "re-issued flows instead of stage resubmission (DESIGN.md §10)",
     )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime invariant sanitizer (capacity "
+        "conservation, rate sanity, clock monotonicity, ledger/monitor "
+        "reconciliation); equivalent to REPRO_SANITIZE=1 (DESIGN.md §13)",
+    )
     run.set_defaults(func=cmd_run)
 
     stream = commands.add_parser(
@@ -512,7 +576,41 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--scheme", default="aggshuffle")
     stream.add_argument("--seed", type=int, default=0)
     stream.add_argument("--max-concurrent", type=int, default=4)
+    stream.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the runtime invariant sanitizer "
+        "(see `repro run --help`)",
+    )
     stream.set_defaults(func=cmd_stream)
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism/accounting static analysis "
+        "(exit 0 clean, 1 findings, 2 usage error)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="pyproject.toml to read [tool.repro-lint] from "
+        "(default: search upward from the current directory)",
+    )
+    lint.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list findings silenced by pragmas (with their reasons)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     compare = commands.add_parser(
         "compare", help="compare the three schemes on one workload"

@@ -29,7 +29,7 @@ class Broadcast:
     are allowed anywhere but charge no simulated time (driver-side use).
     """
 
-    def __init__(self, context: "ClusterContext", value: Any) -> None:
+    def __init__(self, context: ClusterContext, value: Any) -> None:
         self.broadcast_id = next(_broadcast_ids)
         self.context = context
         self._value = value
@@ -49,7 +49,7 @@ class Broadcast:
     def holders(self) -> List[str]:
         return list(self._holders)
 
-    def fetch(self, runtime: "TaskRuntime"):
+    def fetch(self, runtime: TaskRuntime):
         """Task-side access: charge the transfer on first use per host.
 
         A generator (like all runtime operations).  Fetches from a
@@ -101,11 +101,11 @@ def install_broadcast_support() -> None:
     from repro.rdd.rdd import RDD
     from repro.scheduler.task_runtime import TaskRuntime
 
-    def broadcast(self: "ClusterContext", value: Any) -> Broadcast:
+    def broadcast(self: ClusterContext, value: Any) -> Broadcast:
         """Publish a read-only value from the driver."""
         return Broadcast(self, value)
 
-    def read_broadcast(self: "TaskRuntime", broadcast_variable: Broadcast):
+    def read_broadcast(self: TaskRuntime, broadcast_variable: Broadcast):
         result = yield from broadcast_variable.fetch(self)
         return result
 

@@ -232,7 +232,7 @@ class ClusterContext:
         save_path: Optional[str] = None,
         tenant: Optional[str] = None,
         allowed_hosts: Optional[frozenset] = None,
-    ) -> "JobHandle":
+    ) -> JobHandle:
         """Start a job without blocking; returns a :class:`JobHandle`.
 
         Multiple submitted jobs share the cluster's executors, network,
@@ -256,7 +256,7 @@ class ClusterContext:
         """Give ``tenant``'s flows a weighted max-min fair share."""
         self.fabric.set_tenant_weight(tenant, weight)
 
-    def wait_all(self, handles: Sequence["JobHandle"]) -> List[Any]:
+    def wait_all(self, handles: Sequence[JobHandle]) -> List[Any]:
         """Run the simulation until every handle's job completes."""
         return [handle.result() for handle in handles]
 

@@ -287,7 +287,7 @@ class SimulationConfig:
     # Timed infrastructure faults (executor crashes, host/DC losses,
     # WAN degradation) fired into the run by a ChaosInjector; None (or
     # an empty schedule) injects nothing.  See repro.failures.chaos.
-    chaos: Optional["ChaosSchedule"] = None
+    chaos: Optional[ChaosSchedule] = None
     # Multiplier from natural record sizes to logical bytes.  The
     # bundled workloads attach explicit paper-scale sizes to their
     # records (via SizedRecord), so the default is 1.0; raise it to make
@@ -312,16 +312,16 @@ class SimulationConfig:
         if self.chaos is not None:
             self.chaos.validate()
 
-    def with_shuffle(self, shuffle: ShuffleConfig) -> "SimulationConfig":
+    def with_shuffle(self, shuffle: ShuffleConfig) -> SimulationConfig:
         return replace(self, shuffle=shuffle)
 
-    def with_chaos(self, chaos: Optional["ChaosSchedule"]) -> "SimulationConfig":
+    def with_chaos(self, chaos: Optional[ChaosSchedule]) -> SimulationConfig:
         return replace(self, chaos=chaos)
 
-    def with_seed(self, seed: int) -> "SimulationConfig":
+    def with_seed(self, seed: int) -> SimulationConfig:
         return replace(self, seed=seed)
 
-    def with_health(self, health: HealthConfig) -> "SimulationConfig":
+    def with_health(self, health: HealthConfig) -> SimulationConfig:
         return replace(self, health=health)
 
 

@@ -29,7 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 def stage_input_bytes_by_datacenter(
-    stage: "Stage", context: "ClusterContext"
+    stage: Stage, context: ClusterContext
 ) -> Dict[str, float]:
     """Logical input bytes of a stage, aggregated per datacenter."""
     topology = context.topology
@@ -90,8 +90,8 @@ def stage_input_bytes_by_datacenter(
 
 
 def select_aggregator_datacenters(
-    stage: "Stage",
-    context: "ClusterContext",
+    stage: Stage,
+    context: ClusterContext,
     subset_size: int = 1,
     exclude: Sequence[str] = (),
 ) -> List[str]:

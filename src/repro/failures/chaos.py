@@ -153,19 +153,19 @@ class ChaosSchedule:
         return event
 
     @classmethod
-    def from_specs(cls, specs: Sequence[str]) -> "ChaosSchedule":
+    def from_specs(cls, specs: Sequence[str]) -> ChaosSchedule:
         return cls(tuple(cls.parse_event(spec) for spec in specs))
 
     @classmethod
     def random(
         cls,
-        randomness: "RandomSource",
+        randomness: RandomSource,
         hosts: Sequence[str],
         wan_pairs: Sequence[Tuple[str, str]] = (),
         crashes: int = 1,
         degradations: int = 0,
         window: Tuple[float, float] = (1.0, 30.0),
-    ) -> "ChaosSchedule":
+    ) -> ChaosSchedule:
         """A seeded random schedule over the given hosts/links.
 
         Draws come from dedicated streams of ``randomness``, so the same
@@ -237,7 +237,7 @@ class ChaosInjector:
     harness itself.
     """
 
-    def __init__(self, context: "ClusterContext", schedule: ChaosSchedule) -> None:
+    def __init__(self, context: ClusterContext, schedule: ChaosSchedule) -> None:
         schedule.validate()
         self.context = context
         self.schedule = schedule
@@ -359,6 +359,6 @@ class ChaosInjector:
             )
         return f"{link.name} capacity x{factor:g} -> {link.capacity:.0f} B/s"
 
-    def _restore_later(self, link: "Link", delay: float):
+    def _restore_later(self, link: Link, delay: float):
         yield self.context.sim.timeout(delay)
         self.context.fabric.set_link_degrade(link, 1.0)

@@ -72,8 +72,8 @@ class BlacklistTracker:
     def __init__(
         self,
         config: HealthConfig,
-        counters: "HealthCounters",
-        topology: "Topology",
+        counters: HealthCounters,
+        topology: Topology,
         sim,
     ) -> None:
         self.config = config
@@ -237,9 +237,9 @@ class LinkHealthMonitor:
     def __init__(
         self,
         config: HealthConfig,
-        counters: "HealthCounters",
-        topology: "Topology",
-        fabric: "NetworkFabric",
+        counters: HealthCounters,
+        topology: Topology,
+        fabric: NetworkFabric,
         sim,
     ) -> None:
         self.config = config

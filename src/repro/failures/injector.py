@@ -41,7 +41,7 @@ class FailureInjector:
         # RunResult / the CLI run summary alongside total_injected).
         self.stragglers_hit = 0
 
-    def should_fail(self, task: "Task") -> bool:
+    def should_fail(self, task: Task) -> bool:
         """Decide whether this attempt of ``task`` fails.
 
         Respects ``max_injected_failures_per_task`` so a job always
@@ -59,7 +59,7 @@ class FailureInjector:
         self.total_injected += 1
         return True
 
-    def straggler_slowdown(self, task: "Task") -> float:
+    def straggler_slowdown(self, task: Task) -> float:
         """CPU slowdown multiplier for this attempt (1.0 = healthy)."""
         if self.straggler_model is None:
             return 1.0

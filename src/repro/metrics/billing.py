@@ -9,8 +9,10 @@ and is used by the harness to report the monetary side of Fig. 8.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from math import fsum
+from typing import Dict, List, Mapping, Tuple
 
 from repro.network.traffic_monitor import TrafficMonitor
 
@@ -61,18 +63,20 @@ def bill_traffic(
 ) -> BillingReport:
     """Price every cross-datacenter flow the monitor recorded."""
     policy = policy if policy is not None else PricingPolicy()
-    by_source: Dict[str, float] = {}
     by_pair: Dict[Tuple[str, str], float] = {}
-    total = 0.0
+    source_terms: Dict[str, List[float]] = defaultdict(list)
     for (src, dst), size_bytes in monitor.by_pair.items():
         if src == dst:
             continue
         dollars = (size_bytes / GB) * policy.price(src)
-        total += dollars
-        by_source[src] = by_source.get(src, 0.0) + dollars
         by_pair[(src, dst)] = dollars
+        source_terms[src].append(dollars)
+    # fsum over the gathered terms so totals do not depend on the order
+    # pairs were recorded in (ACC001).
     return BillingReport(
-        total_dollars=total, by_source=by_source, by_pair=by_pair
+        total_dollars=fsum(by_pair.values()),
+        by_source={src: fsum(terms) for src, terms in source_terms.items()},
+        by_pair=by_pair,
     )
 
 

@@ -85,7 +85,7 @@ class MetricsCollector:
     def on_job_end(self, now: float) -> None:
         self.job.finished_at = now
 
-    def on_stage_start(self, stage: "Stage", now: float) -> None:
+    def on_stage_start(self, stage: Stage, now: float) -> None:
         span = StageSpan(
             stage_id=stage.stage_id,
             name=stage.name,
@@ -95,12 +95,12 @@ class MetricsCollector:
         self._stage_spans[stage.stage_id] = span
         self.job.stages.append(span)
 
-    def on_stage_end(self, stage: "Stage", now: float) -> None:
+    def on_stage_end(self, stage: Stage, now: float) -> None:
         span = self._stage_spans.get(stage.stage_id)
         if span is not None:
             span.finished_at = now
 
-    def on_task_end(self, result: "TaskResult") -> None:
+    def on_task_end(self, result: TaskResult) -> None:
         span = self._stage_spans.get(result.task.stage.stage_id)
         if span is None:
             return
@@ -118,5 +118,5 @@ class MetricsCollector:
             )
         )
 
-    def on_task_attempt_failed(self, task: "Task", host: str, now: float) -> None:
+    def on_task_attempt_failed(self, task: Task, host: str, now: float) -> None:
         self.job.injected_failures += 1

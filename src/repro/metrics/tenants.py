@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from math import fsum
-from typing import Dict, List, Optional
+from typing import Collection, Dict, List, Optional
 
 from repro.metrics.stats import percentile
 
@@ -67,6 +67,25 @@ class TenantLedger:
     @property
     def wan_bytes_by_tenant(self) -> Dict[str, float]:
         return self._reduce(wan_only=True)
+
+    def settled_by_tenant(
+        self, exclude: Collection[int] = (), wan_only: bool = False
+    ) -> Dict[str, float]:
+        """Per-tenant totals over the *landed* charges only.
+
+        ``exclude`` names the still-in-flight flow keys: their admission
+        charges have no traffic-monitor record yet.  What remains is the
+        identical multiset of floats the monitor holds, so the runtime
+        sanitizer compares the two fsum reductions for exact equality at
+        stage boundaries.
+        """
+        excluded = set(exclude)
+        grouped: Dict[str, List[float]] = defaultdict(list)
+        for flow_key, (tenant, charged, wan) in self._charges.items():
+            if flow_key in excluded or (wan_only and not wan):
+                continue
+            grouped[tenant].append(charged)
+        return {tenant: fsum(values) for tenant, values in grouped.items()}
 
     def _reduce(self, wan_only: bool) -> Dict[str, float]:
         grouped: Dict[str, List[float]] = defaultdict(list)

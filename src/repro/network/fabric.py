@@ -45,6 +45,7 @@ import math
 import time
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.metrics.perf import FabricPerfCounters
 from repro.metrics.tenants import TenantLedger
 from repro.network.cascade import CascadePlan, build_plan
@@ -167,6 +168,11 @@ class NetworkFabric:
         self.monitor = monitor if monitor is not None else TrafficMonitor()
         self.wan_flow_cap = wan_flow_cap
         self.perf = FabricPerfCounters()
+        # Runtime invariant sanitizer (None unless REPRO_SANITIZE /
+        # --sanitize): checks capacity conservation and rate sanity
+        # after every solve.  Captured once, so the off case costs one
+        # attribute load + None test per solve.
+        self.sanitizer = get_sanitizer()
         # tenant -> weighted-fair-share weight (> 0); flows issued for a
         # tenant absent from the registry weigh 1.0.  Populated by the
         # inter-job scheduler; untouched (empty) for single-job runs so
@@ -278,6 +284,11 @@ class NetworkFabric:
     @property
     def active_flow_count(self) -> int:
         return len(self._flows)
+
+    def active_flow_ids(self) -> Tuple[int, ...]:
+        """The in-flight flow ids (sanitizer reconciliation excludes
+        them: their admission charges have no monitor record yet)."""
+        return tuple(self._flows)
 
     def active_flows(self) -> List[Flow]:
         """The in-flight flows, with ``remaining`` charged up to now."""
@@ -485,6 +496,11 @@ class NetworkFabric:
             self._resolve_dirty()
 
     def _finish_flow(self, flow: Flow, extra_delay: float) -> None:
+        if self.sanitizer is not None:
+            # Every flow funnels through here exactly once on every
+            # drive, so the remaining-bytes invariant is always
+            # exercised even on runs with no mid-plan perturbations.
+            self.sanitizer.check_remaining(flow.flow_id, flow.remaining)
         flow.finished_at = self.sim.now + extra_delay
         if flow.size_bytes > 0:
             # Zero-byte transfers are control-plane no-ops; recording
@@ -519,6 +535,8 @@ class NetworkFabric:
         flow.remaining = plan.remaining_at(pos, now)
         flow.rate = plan.rate_at(pos, now)
         flow.charged_at = now
+        if self.sanitizer is not None:
+            self.sanitizer.check_remaining(flow.flow_id, flow.remaining)
 
     def _invalidate_plan(self, plan: CascadePlan) -> None:
         """Kill a plan: lazily cancel its timers and replay every
@@ -550,6 +568,7 @@ class NetworkFabric:
             self._dirty_all = False
         dirty_flows, self._dirty_flows = self._dirty_flows, set()
         dirty_links, self._dirty_links = self._dirty_links, set()
+        # repro-lint: allow[DET002] measures real solver cost for the perf counters; never feeds simulated time
         started = time.perf_counter()
         # Seed set only (no union BFS — each component is discovered
         # exactly once during partitioning below).
@@ -558,10 +577,18 @@ class NetworkFabric:
             seeds.update(engine.flows_on(name))
         # A plan may span flows a component BFS no longer reaches (the
         # component split mid-plan); the whole plan dies, so all its
-        # still-active members get re-planned too.
-        for plan in {
-            self._plans[flow_id] for flow_id in seeds if flow_id in self._plans
-        }:
+        # still-active members get re-planned too.  Plans are iterated
+        # in flow-id order (flow_ids is sorted, so [0] is the plan's
+        # minimum): a raw set of plan objects would iterate in
+        # memory-address order and leak it into the seed set's history.
+        for plan in sorted(
+            {
+                self._plans[flow_id]
+                for flow_id in seeds
+                if flow_id in self._plans
+            },
+            key=lambda p: p.flow_ids[0],
+        ):
             members = [f for f in plan.flow_ids if f in self._flows]
             self._invalidate_plan(plan)
             seeds.update(members)
@@ -585,9 +612,13 @@ class NetworkFabric:
             # were not dirty seeds themselves (charges them to now).
             # Such a plan may span members this component BFS cannot
             # reach (it split mid-plan) — queue them for re-planning.
-            for plan in {
-                self._plans[f] for f in component if f in self._plans
-            }:
+            # Sorted plan order keeps the worklist append order (and so
+            # component planning order and timer sequence numbers) a
+            # pure function of the flow ids, not of object addresses.
+            for plan in sorted(
+                {self._plans[f] for f in component if f in self._plans},
+                key=lambda p: p.flow_ids[0],
+            ):
                 for flow_id in plan.flow_ids:
                     if (
                         flow_id not in component
@@ -623,6 +654,15 @@ class NetworkFabric:
                 flow.charged_at = now
                 flow.epoch += 1
                 self._plans[flow_id] = plan
+            if self.sanitizer is not None:
+                self.sanitizer.check_rates(
+                    {
+                        flow_id: plan.initial_rate(pos)
+                        for pos, flow_id in enumerate(plan.flow_ids)
+                    },
+                    routes,
+                    capacities,
+                )
             for index, depart_time in enumerate(plan.depart_times()):
                 plan.timers.append(
                     self.sim.call_at(
@@ -632,6 +672,7 @@ class NetworkFabric:
                 )
             self.perf.solves += 1
             self.perf.flows_touched += len(members)
+        # repro-lint: allow[DET002] measures real solver cost for the perf counters; never feeds simulated time
         self.perf.solver_seconds += time.perf_counter() - started
 
     def _make_depart_timer(self, plan: CascadePlan, segment: int):
@@ -671,6 +712,8 @@ class NetworkFabric:
             if flow.remaining < 0:
                 flow.remaining = 0.0
             flow.charged_at = self.sim.now
+            if self.sanitizer is not None:
+                self.sanitizer.check_remaining(flow.flow_id, flow.remaining)
 
     def _depart(self, flow: Flow) -> None:
         """Remove a drained flow from the graph and complete it."""
@@ -713,6 +756,12 @@ class NetworkFabric:
                 heapq.heappush(
                     self._deadlines,
                     (now + flow.remaining / flow.rate, flow_id, flow.epoch),
+                )
+            if self.sanitizer is not None:
+                members = sorted(component)
+                routes, capacities = engine.subproblem(members)
+                self.sanitizer.check_rates(
+                    {f: engine.rate(f) for f in members}, routes, capacities
                 )
         self._schedule_wake()
 
@@ -817,6 +866,7 @@ class NetworkFabric:
         return routes, capacities
 
     def _recompute_rates(self) -> None:
+        # repro-lint: allow[DET002] measures real solver cost for the perf counters; never feeds simulated time
         started = time.perf_counter()
         routes, capacities = self._build_solver_inputs()
         rates = max_min_fair_rates(
@@ -824,8 +874,11 @@ class NetworkFabric:
         )
         for flow_id, flow in self._flows.items():
             flow.rate = rates[flow_id]
+        if self.sanitizer is not None:
+            self.sanitizer.check_rates(rates, routes, capacities)
         self.perf.solves += 1
         self.perf.flows_touched += len(self._flows)
+        # repro-lint: allow[DET002] measures real solver cost for the perf counters; never feeds simulated time
         self.perf.solver_seconds += time.perf_counter() - started
 
     def _reschedule_global(self) -> None:

@@ -59,10 +59,13 @@ def max_min_fair_rates(
         )
     rates: Dict[FlowId, float] = {}
     # Unconstrained flows are infinitely fast at this abstraction level.
-    active: Set[FlowId] = set()
+    # ``active`` is a dict-as-ordered-set (DET003): iteration follows the
+    # caller's ``flow_routes`` insertion order instead of hash order, so
+    # the returned dict's key order cannot vary with PYTHONHASHSEED.
+    active: Dict[FlowId, None] = {}
     for flow_id, route in flow_routes.items():
         if route:
-            active.add(flow_id)
+            active[flow_id] = None
         else:
             rates[flow_id] = float("inf")
     if not active:
@@ -125,7 +128,7 @@ def max_min_fair_rates(
             # guarantee termination.  In exact arithmetic this cannot happen.
             frozen = list(active)
         for flow_id in frozen:
-            active.discard(flow_id)
+            active.pop(flow_id, None)
             for link_id in flow_routes[flow_id]:
                 crossing[link_id] -= 1
 
@@ -148,7 +151,8 @@ def _weighted_max_min_fair_rates(
     froze drop out exactly (no float-residue links surviving rounds).
     """
     rates: Dict[FlowId, float] = {}
-    active: Set[FlowId] = set()
+    # Dict-as-ordered-set — see max_min_fair_rates (DET003).
+    active: Dict[FlowId, None] = {}
     weights: Dict[FlowId, float] = {}
     for flow_id, route in flow_routes.items():
         if route:
@@ -156,7 +160,7 @@ def _weighted_max_min_fair_rates(
             if weight <= 0:
                 raise ValueError(f"flow {flow_id!r} has weight <= 0")
             weights[flow_id] = weight
-            active.add(flow_id)
+            active[flow_id] = None
         else:
             rates[flow_id] = float("inf")
     if not active:
@@ -216,7 +220,7 @@ def _weighted_max_min_fair_rates(
             # termination (cannot happen in exact arithmetic).
             frozen = list(active)
         for flow_id in frozen:
-            active.discard(flow_id)
+            active.pop(flow_id, None)
             weight = weights[flow_id]
             for link_id in flow_routes[flow_id]:
                 carriers[link_id] -= 1

@@ -209,6 +209,7 @@ class IncrementalFairShare:
         frozen rates."""
         if not flow_ids:
             return
+        # repro-lint: allow[DET002] measures real solver cost for the perf counters; never feeds simulated time
         started = perf_counter()
         routes, capacities = self.subproblem(flow_ids)
         rates = max_min_fair_rates(
@@ -218,6 +219,7 @@ class IncrementalFairShare:
         counters = self.counters
         counters.solves += 1
         counters.flows_touched += len(flow_ids)
+        # repro-lint: allow[DET002] measures real solver cost for the perf counters; never feeds simulated time
         counters.solver_seconds += perf_counter() - started
 
     def rate(self, flow_id: FlowId) -> float:

@@ -99,7 +99,7 @@ class Datacenter:
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.hosts: List["Host"] = []
+        self.hosts: List[Host] = []
         self.wan_in: Optional[Link] = None
         self.wan_out: Optional[Link] = None
 

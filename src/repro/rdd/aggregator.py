@@ -57,7 +57,7 @@ class Aggregator:
     @classmethod
     def from_reduce_function(
         cls, func: Callable[[Value, Value], Value]
-    ) -> "Aggregator":
+    ) -> Aggregator:
         """The reduceByKey aggregator: combiner type == value type."""
         return cls(
             create_combiner=lambda value: value,
@@ -66,7 +66,7 @@ class Aggregator:
         )
 
     @classmethod
-    def group_by_key(cls) -> "Aggregator":
+    def group_by_key(cls) -> Aggregator:
         """The groupByKey aggregator: combiner is a list of values."""
         return cls(
             create_combiner=lambda value: [value],

@@ -35,7 +35,7 @@ _transfer_ids = itertools.count()
 class Dependency:
     """Base class: an edge from a child RDD to one parent RDD."""
 
-    def __init__(self, parent: "RDD") -> None:
+    def __init__(self, parent: RDD) -> None:
         self.parent = parent
 
 
@@ -50,7 +50,7 @@ class RangeDependency(NarrowDependency):
     """Used by union: a contiguous slice of child partitions maps onto
     the parent's partitions with an offset."""
 
-    def __init__(self, parent: "RDD", child_start: int, length: int) -> None:
+    def __init__(self, parent: RDD, child_start: int, length: int) -> None:
         super().__init__(parent)
         self.child_start = child_start
         self.length = length
@@ -81,7 +81,7 @@ class ShuffleDependency(Dependency):
 
     def __init__(
         self,
-        parent: "RDD",
+        parent: RDD,
         partitioner: Partitioner,
         aggregator: Optional[Aggregator] = None,
         map_side_combine: bool = False,
@@ -111,7 +111,7 @@ class TransferDependency(Dependency):
 
     def __init__(
         self,
-        parent: "RDD",
+        parent: RDD,
         destination_datacenter: Optional[str] = None,
         pre_combine: Optional[Aggregator] = None,
     ) -> None:

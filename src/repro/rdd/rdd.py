@@ -52,7 +52,7 @@ class RDD:
 
     def __init__(
         self,
-        context: "ClusterContext",
+        context: ClusterContext,
         dependencies: Sequence[Dependency],
         name: str = "",
     ) -> None:
@@ -81,11 +81,11 @@ class RDD:
     # ------------------------------------------------------------------
     # Narrow transformations
     # ------------------------------------------------------------------
-    def map(self, func: Callable[[Any], Any], name: str = "map") -> "MappedRDD":
+    def map(self, func: Callable[[Any], Any], name: str = "map") -> MappedRDD:
         """Apply ``func`` to every record."""
         return MappedRDD(self, func, name=name)
 
-    def map_values(self, func: Callable[[Any], Any]) -> "MappedRDD":
+    def map_values(self, func: Callable[[Any], Any]) -> MappedRDD:
         """Apply ``func`` to the value of every (key, value) record."""
         return MappedRDD(
             self, lambda kv: (kv[0], func(kv[1])), name="mapValues"
@@ -93,11 +93,11 @@ class RDD:
 
     def flat_map(
         self, func: Callable[[Any], Iterable[Any]], name: str = "flatMap"
-    ) -> "FlatMappedRDD":
+    ) -> FlatMappedRDD:
         """Apply ``func`` and flatten the resulting iterables."""
         return FlatMappedRDD(self, func, name=name)
 
-    def filter(self, predicate: Callable[[Any], bool]) -> "FilteredRDD":
+    def filter(self, predicate: Callable[[Any], bool]) -> FilteredRDD:
         """Keep only records satisfying ``predicate``."""
         return FilteredRDD(self, predicate)
 
@@ -106,26 +106,26 @@ class RDD:
         func: Callable[[List[Any]], Iterable[Any]],
         name: str = "mapPartitions",
         preserves_partitioning: bool = False,
-    ) -> "MapPartitionsRDD":
+    ) -> MapPartitionsRDD:
         """Apply ``func`` to each whole partition."""
         return MapPartitionsRDD(
             self, func, name=name, preserves_partitioning=preserves_partitioning
         )
 
-    def keys(self) -> "MappedRDD":
+    def keys(self) -> MappedRDD:
         return MappedRDD(self, lambda kv: kv[0], name="keys")
 
-    def values(self) -> "MappedRDD":
+    def values(self) -> MappedRDD:
         return MappedRDD(self, lambda kv: kv[1], name="values")
 
-    def union(self, other: "RDD") -> "UnionRDD":
+    def union(self, other: RDD) -> UnionRDD:
         """Concatenate two RDDs partition-wise (no data movement)."""
         return UnionRDD(self.context, [self, other])
 
     # ------------------------------------------------------------------
     # Shuffle transformations (defined in shuffled.py, bound here)
     # ------------------------------------------------------------------
-    def group_by_key(self, num_partitions: Optional[int] = None) -> "RDD":
+    def group_by_key(self, num_partitions: Optional[int] = None) -> RDD:
         """Group (k, v) records into (k, [values]) via a shuffle."""
         from repro.rdd.shuffled import ShuffledRDD
 
@@ -144,7 +144,7 @@ class RDD:
         self,
         func: Callable[[Any, Any], Any],
         num_partitions: Optional[int] = None,
-    ) -> "RDD":
+    ) -> RDD:
         """Merge values per key with ``func``; combines map-side."""
         from repro.rdd.shuffled import ShuffledRDD
 
@@ -164,7 +164,7 @@ class RDD:
         sample_keys: Sequence[Any],
         num_partitions: Optional[int] = None,
         ascending: bool = True,
-    ) -> "RDD":
+    ) -> RDD:
         """Globally sort (k, v) records with a range partitioner.
 
         ``sample_keys`` stands in for Spark's sampling pre-pass: callers
@@ -186,7 +186,7 @@ class RDD:
             name="sortByKey",
         )
 
-    def partition_by(self, partitioner: Partitioner) -> "RDD":
+    def partition_by(self, partitioner: Partitioner) -> RDD:
         """Repartition (k, v) records by ``partitioner`` via a shuffle."""
         from repro.rdd.shuffled import ShuffledRDD
 
@@ -196,8 +196,8 @@ class RDD:
         )
 
     def cogroup(
-        self, other: "RDD", num_partitions: Optional[int] = None
-    ) -> "RDD":
+        self, other: RDD, num_partitions: Optional[int] = None
+    ) -> RDD:
         """Group both RDDs' values per key: (k, ([left vs], [right vs]))."""
         from repro.rdd.shuffled import CoGroupedRDD
 
@@ -206,7 +206,7 @@ class RDD:
         )
         return CoGroupedRDD(self, other, partitioner)
 
-    def join(self, other: "RDD", num_partitions: Optional[int] = None) -> "RDD":
+    def join(self, other: RDD, num_partitions: Optional[int] = None) -> RDD:
         """Inner join on keys: (k, (left value, right value))."""
         grouped = self.cogroup(other, num_partitions)
 
@@ -218,7 +218,7 @@ class RDD:
 
         return grouped.flat_map(emit_pairs, name="join")
 
-    def distinct(self, num_partitions: Optional[int] = None) -> "RDD":
+    def distinct(self, num_partitions: Optional[int] = None) -> RDD:
         """Remove duplicate records via a shuffle."""
         keyed = self.map(lambda record: (record, None), name="distinct:key")
         reduced = keyed.reduce_by_key(lambda a, _b: a, num_partitions)
@@ -231,7 +231,7 @@ class RDD:
         self,
         destination_datacenter: Optional[str] = None,
         pre_combine: Optional[Aggregator] = None,
-    ) -> "RDD":
+    ) -> RDD:
         """Proactively push this dataset into an aggregator datacenter.
 
         The core API of the reproduced paper (§IV-B).  Returns a
@@ -255,7 +255,7 @@ class RDD:
             pre_combine=pre_combine,
         )
 
-    def cache(self) -> "RDD":
+    def cache(self) -> RDD:
         """Persist computed partitions at the hosts that produced them."""
         self.cached = True
         return self
@@ -278,12 +278,12 @@ class RDD:
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
-    def lineage(self) -> List["RDD"]:
+    def lineage(self) -> List[RDD]:
         """All ancestor RDDs (including self), deduplicated, parents first."""
         seen: dict = {}
         order: List[RDD] = []
 
-        def visit(rdd: "RDD") -> None:
+        def visit(rdd: RDD) -> None:
             if rdd.rdd_id in seen:
                 return
             seen[rdd.rdd_id] = rdd
@@ -301,7 +301,7 @@ class RDD:
 class HadoopRDD(RDD):
     """An input RDD backed by one DFS file: one partition per block."""
 
-    def __init__(self, context: "ClusterContext", path: str) -> None:
+    def __init__(self, context: ClusterContext, path: str) -> None:
         super().__init__(context, dependencies=[], name=f"hadoop[{path}]")
         self.path = path
         self._block_ids = context.dfs.file_blocks(path)
@@ -330,7 +330,7 @@ class ParallelizedRDD(RDD):
     """Driver-side data split into partitions (context.parallelize)."""
 
     def __init__(
-        self, context: "ClusterContext", records: Sequence[Any], num_slices: int
+        self, context: ClusterContext, records: Sequence[Any], num_slices: int
     ) -> None:
         super().__init__(context, dependencies=[], name="parallelize")
         if num_slices < 1:
@@ -441,7 +441,7 @@ class MapPartitionsRDD(RDD):
 class UnionRDD(RDD):
     """Concatenation of several RDDs; partitions are stacked in order."""
 
-    def __init__(self, context: "ClusterContext", parents: Sequence[RDD]) -> None:
+    def __init__(self, context: ClusterContext, parents: Sequence[RDD]) -> None:
         if not parents:
             raise PartitionError("union requires at least one parent")
         dependencies: List[Dependency] = []

@@ -46,7 +46,7 @@ class DAGScheduler:
 
     def __init__(
         self,
-        context: "ClusterContext",
+        context: ClusterContext,
         metrics=None,
         tenant: Optional[str] = None,
         allowed_hosts: Optional[frozenset] = None,
@@ -165,6 +165,16 @@ class DAGScheduler:
             )
         gathered = yield self.sim.all_of(done_events)
         self.metrics.on_stage_end(stage, self.sim.now)
+        sanitizer = context.fabric.sanitizer
+        if sanitizer is not None:
+            # Stage boundary: every landed flow's admission-time ledger
+            # charge must reconcile bit-for-bit with the monitor's
+            # completion-time record (in-flight flows excluded).
+            sanitizer.check_ledger(
+                context.fabric.tenant_ledger,
+                context.fabric.monitor,
+                iter(context.fabric.active_flow_ids()),
+            )
         return gathered
 
     def _task_flow(

@@ -66,7 +66,7 @@ class Stage:
         self.boundary_shuffle_deps: List[ShuffleDependency] = []
         # TransferredRDDs inside this stage (receiver semantics), paired
         # with the producer stage feeding each.
-        self.transfer_inputs: List[Tuple[TransferredRDD, "Stage"]] = []
+        self.transfer_inputs: List[Tuple[TransferredRDD, Stage]] = []
         # True once pre-combine already happened before the transfer, so
         # the shuffle write must merge combiners rather than values.
         self.combine_done = False
@@ -92,7 +92,7 @@ class Stage:
     def name(self) -> str:
         return f"stage{self.stage_id}:{self.kind.value}:{self.rdd.name}"
 
-    def required_transfers(self, partition: int) -> List[Tuple["Stage", int]]:
+    def required_transfers(self, partition: int) -> List[Tuple[Stage, int]]:
         """(producer stage, producer partition) pairs gating this task.
 
         Walks the in-stage narrow chain translating partition indices so

@@ -15,9 +15,26 @@ _task_ids = itertools.count()
 class Task:
     """One unit of placed work: compute one partition of one stage."""
 
+    # PERF001 hot-path class: one instance per (partition, attempt), so
+    # streams allocate tens of thousands; __slots__ also rejects typo'd
+    # attribute writes from the schedulers.
+    __slots__ = (
+        "task_id",
+        "stage",
+        "partition",
+        "preferred_hosts",
+        "action",
+        "submit_time",
+        "attempts",
+        "recovery",
+        "locality_wait_host",
+        "locality_wait_datacenter",
+        "allowed_hosts",
+    )
+
     def __init__(
         self,
-        stage: "Stage",
+        stage: Stage,
         partition: int,
         preferred_hosts: List[str],
         action: Optional[str] = None,

@@ -30,7 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class TaskRunner:
     """Executes tasks for one cluster context."""
 
-    def __init__(self, context: "ClusterContext") -> None:
+    def __init__(self, context: ClusterContext) -> None:
         self.context = context
 
     # The signature TaskScheduler expects: a generator -> TaskResult.

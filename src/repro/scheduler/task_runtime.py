@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class TaskRuntime:
     """Per-attempt execution context bound to one host."""
 
-    def __init__(self, context: "ClusterContext", task: "Task", host: str) -> None:
+    def __init__(self, context: ClusterContext, task: Task, host: str) -> None:
         self.context = context
         self.task = task
         self.host = host

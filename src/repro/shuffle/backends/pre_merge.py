@@ -60,7 +60,7 @@ class PreMergeBackend(ShuffleBackend):
     # ------------------------------------------------------------------
     # Pre-reduce consolidation
     # ------------------------------------------------------------------
-    def prepare_shuffle_input(self, dep: "ShuffleDependency", tenant: str = ""):
+    def prepare_shuffle_input(self, dep: ShuffleDependency, tenant: str = ""):
         if dep.shuffle_id in self._merged:
             return
         yield from self._consolidate(dep, recovery=False, tenant=tenant)
@@ -104,7 +104,7 @@ class PreMergeBackend(ShuffleBackend):
         )
 
     def _consolidate(
-        self, dep: "ShuffleDependency", recovery: bool, tenant: str = ""
+        self, dep: ShuffleDependency, recovery: bool, tenant: str = ""
     ):
         shuffle_id = dep.shuffle_id
         self._merged.add(shuffle_id)
@@ -112,14 +112,14 @@ class PreMergeBackend(ShuffleBackend):
         topology = context.topology
         statuses = context.map_output_tracker.map_statuses(shuffle_id)
 
-        by_dc: Dict[str, List["MapStatus"]] = {}
+        by_dc: Dict[str, List[MapStatus]] = {}
         for status in statuses:
             by_dc.setdefault(topology.datacenter_of(status.host), []).append(
                 status
             )
 
         flows = []
-        moves: List[Tuple["MapStatus", str]] = []
+        moves: List[Tuple[MapStatus, str]] = []
         for datacenter in sorted(by_dc):
             group = by_dc[datacenter]
             per_host: Dict[str, float] = {}
@@ -190,7 +190,7 @@ class PreMergeBackend(ShuffleBackend):
     # Coalesced reduce read
     # ------------------------------------------------------------------
     def shuffle_read(
-        self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
+        self, runtime: TaskRuntime, dep: ShuffleDependency, reduce_index: int
     ):
         """One flow per *source host* instead of one per shard.
 
@@ -270,7 +270,7 @@ class PreMergeBackend(ShuffleBackend):
             if merger == host:
                 del self._mergers[datacenter]
 
-    def on_blocks_lost(self, dep: "ShuffleDependency", tenant: str = ""):
+    def on_blocks_lost(self, dep: ShuffleDependency, tenant: str = ""):
         """Mid-job recovery: the lost partitions were just recomputed at
         scattered hosts — consolidate them onto a *surviving* merger
         before any reducer retries, so recovered reads stay coalesced.

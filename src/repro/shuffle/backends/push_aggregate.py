@@ -30,5 +30,5 @@ class PushAggregateBackend(ShuffleBackend):
     implicit_transfers = True
     flow_tags = ("shuffle", "transfer_to")
 
-    def prepare_job(self, final_rdd: "RDD") -> "RDD":
+    def prepare_job(self, final_rdd: RDD) -> RDD:
         return insert_transfers(final_rdd)

@@ -68,17 +68,17 @@ class ShuffleBackend:
     flow_tags: Tuple[str, ...] = ("shuffle", "transfer_to")
 
     def __init__(self) -> None:
-        self.context: "ClusterContext" = None  # type: ignore[assignment]
+        self.context: ClusterContext = None  # type: ignore[assignment]
         self.counters = ShuffleCounters()
 
-    def bind(self, context: "ClusterContext") -> None:
+    def bind(self, context: ClusterContext) -> None:
         """Attach to one cluster context (called once by the service)."""
         self.context = context
 
     # ------------------------------------------------------------------
     # Lineage rewriting
     # ------------------------------------------------------------------
-    def prepare_job(self, final_rdd: "RDD") -> "RDD":
+    def prepare_job(self, final_rdd: RDD) -> RDD:
         """Hook to rewrite the lineage before stage building (identity
         by default; the push backend embeds ``transfer_to`` here)."""
         return final_rdd
@@ -122,7 +122,7 @@ class ShuffleBackend:
     def on_host_failure(self, host: str) -> None:
         """Invalidate backend state referring to ``host`` (no-op here)."""
 
-    def on_blocks_lost(self, dep: "ShuffleDependency", tenant: str = ""):
+    def on_blocks_lost(self, dep: ShuffleDependency, tenant: str = ""):
         """Simulation process run by the DAG scheduler after the lost
         partitions of ``dep``'s producing stage were recomputed, before
         any consumer retries its read.
@@ -143,7 +143,7 @@ class ShuffleBackend:
     # ------------------------------------------------------------------
     # Pre-reduce reorganisation
     # ------------------------------------------------------------------
-    def prepare_shuffle_input(self, dep: "ShuffleDependency", tenant: str = ""):
+    def prepare_shuffle_input(self, dep: ShuffleDependency, tenant: str = ""):
         """Simulation process run after the map barrier, before the
         consuming stage's tasks launch.  The pre-merge backend uses it to
         consolidate map output per datacenter; fetch/push do nothing.
@@ -155,7 +155,7 @@ class ShuffleBackend:
     # Reduce-side reads
     # ------------------------------------------------------------------
     def shuffle_read(
-        self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
+        self, runtime: TaskRuntime, dep: ShuffleDependency, reduce_index: int
     ):
         """Fetch this reducer's shards from every map output location.
 
@@ -227,8 +227,8 @@ class ShuffleBackend:
 
     def _fetch_with_retry(
         self,
-        runtime: "TaskRuntime",
-        dep: "ShuffleDependency",
+        runtime: TaskRuntime,
+        dep: ShuffleDependency,
         src_host: str,
         size_bytes: float,
     ):
@@ -280,7 +280,7 @@ class ShuffleBackend:
         self.counters.blocks_pushed += 1
 
     def transfer_read(
-        self, runtime: "TaskRuntime", dep: "TransferDependency", index: int
+        self, runtime: TaskRuntime, dep: TransferDependency, index: int
     ):
         """Pull a staged partition from its origin (receiver task);
         a no-op when the partition is already local."""
@@ -361,7 +361,7 @@ class ShuffleService:
     context construction, from ``ShuffleConfig.backend_name``.
     """
 
-    def __init__(self, context: "ClusterContext", backend: ShuffleBackend) -> None:
+    def __init__(self, context: ClusterContext, backend: ShuffleBackend) -> None:
         self.context = context
         self.backend = backend
         backend.bind(context)
@@ -378,7 +378,7 @@ class ShuffleService:
     # ------------------------------------------------------------------
     # Uniform entry points (delegation, no strategy branches)
     # ------------------------------------------------------------------
-    def prepare_job(self, final_rdd: "RDD") -> "RDD":
+    def prepare_job(self, final_rdd: RDD) -> RDD:
         return self.backend.prepare_job(final_rdd)
 
     def register_shuffle(self, shuffle_id: int, num_maps: int) -> None:
@@ -393,7 +393,7 @@ class ShuffleService:
     ) -> None:
         self.backend.register_map_output(shuffle_id, map_index, host, shards)
 
-    def prepare_stage_inputs(self, stage: "Stage"):
+    def prepare_stage_inputs(self, stage: Stage):
         """Run the backend's pre-reduce hook for every shuffle this
         stage consumes (a simulation sub-process of the stage)."""
         seen = set()
@@ -406,7 +406,7 @@ class ShuffleService:
             )
 
     def shuffle_read(
-        self, runtime: "TaskRuntime", dep: "ShuffleDependency", reduce_index: int
+        self, runtime: TaskRuntime, dep: ShuffleDependency, reduce_index: int
     ):
         # Spark's FetchFailed check: a reducer must see *every* map
         # output.  After a host loss the tracker silently drops the lost
@@ -433,7 +433,7 @@ class ShuffleService:
         )
 
     def transfer_read(
-        self, runtime: "TaskRuntime", dep: "TransferDependency", index: int
+        self, runtime: TaskRuntime, dep: TransferDependency, index: int
     ):
         records = yield from self.backend.transfer_read(runtime, dep, index)
         return records
@@ -444,7 +444,7 @@ class ShuffleService:
     def on_host_failure(self, host: str) -> None:
         self.backend.on_host_failure(host)
 
-    def on_blocks_lost(self, dep: "ShuffleDependency", tenant: str = ""):
+    def on_blocks_lost(self, dep: ShuffleDependency, tenant: str = ""):
         yield from self.backend.on_blocks_lost(dep, tenant=tenant)
 
     def merger_host(self, datacenter: str) -> Optional[str]:

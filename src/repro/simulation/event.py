@@ -33,12 +33,12 @@ class Event:
         "_cancelled",
     )
 
-    def __init__(self, sim: "Simulator", name: str = "") -> None:
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name
         self._value: Any = _PENDING
         self._error: Optional[BaseException] = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        self._callbacks: List[Callable[[Event], None]] = []
         # Has the kernel already delivered this event's callbacks?
         self._processed = False
         # Lazy cancellation (see repro.simulation.timer_wheel): the
@@ -85,7 +85,7 @@ class Event:
     # ------------------------------------------------------------------
     # Firing
     # ------------------------------------------------------------------
-    def succeed(self, value: Any = None) -> "Event":
+    def succeed(self, value: Any = None) -> Event:
         """Fire the event successfully, delivering ``value`` to waiters."""
         if self.triggered:
             raise EventAlreadyFiredError(
@@ -95,7 +95,7 @@ class Event:
         self.sim._schedule_event(self)
         return self
 
-    def fail(self, error: BaseException) -> "Event":
+    def fail(self, error: BaseException) -> Event:
         """Fire the event with an error, propagated to waiting processes."""
         if self.triggered:
             raise EventAlreadyFiredError(
@@ -110,7 +110,7 @@ class Event:
     # ------------------------------------------------------------------
     # Callbacks
     # ------------------------------------------------------------------
-    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+    def add_callback(self, callback: Callable[[Event], None]) -> None:
         """Run ``callback(event)`` when the event fires.
 
         If the event has already been *processed* the callback runs
@@ -144,7 +144,7 @@ class Timeout(Event):
     __slots__ = ("delay", "_fire_value")
 
     def __init__(
-        self, sim: "Simulator", delay: float, value: Any = None, name: str = ""
+        self, sim: Simulator, delay: float, value: Any = None, name: str = ""
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
@@ -166,10 +166,10 @@ class Timeout(Event):
         self._cancelled = True
 
     # A Timeout is born triggered-at-a-future-time; it cannot be re-fired.
-    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+    def succeed(self, value: Any = None) -> Event:  # pragma: no cover
         raise EventAlreadyFiredError("a Timeout fires automatically")
 
-    def fail(self, error: BaseException) -> "Event":  # pragma: no cover
+    def fail(self, error: BaseException) -> Event:  # pragma: no cover
         raise EventAlreadyFiredError("a Timeout fires automatically")
 
 
@@ -183,7 +183,7 @@ class AllOf(Event):
     __slots__ = ("_children", "_remaining")
 
     def __init__(
-        self, sim: "Simulator", events: Iterable[Event], name: str = ""
+        self, sim: Simulator, events: Iterable[Event], name: str = ""
     ) -> None:
         super().__init__(sim, name=name or "all_of")
         self._children = list(events)
@@ -214,7 +214,7 @@ class AnyOf(Event):
     __slots__ = ("_children",)
 
     def __init__(
-        self, sim: "Simulator", events: Iterable[Event], name: str = ""
+        self, sim: Simulator, events: Iterable[Event], name: str = ""
     ) -> None:
         super().__init__(sim, name=name or "any_of")
         self._children = list(events)

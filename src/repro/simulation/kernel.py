@@ -33,6 +33,7 @@ import itertools
 from collections import deque
 from typing import Any, Callable, Generator, Optional
 
+from repro.analysis.sanitizer import get_sanitizer
 from repro.errors import SimulationError
 from repro.simulation.event import AllOf, AnyOf, Event, Timeout
 from repro.simulation.timer_wheel import TimerHandle, TimerWheel
@@ -45,7 +46,7 @@ class Process(Event):
 
     def __init__(
         self,
-        sim: "Simulator",
+        sim: Simulator,
         generator: Generator[Event, Any, Any],
         name: str = "",
     ) -> None:
@@ -108,6 +109,9 @@ class Simulator:
         self._sequence = itertools.count()
         self._processed_events = 0
         self._batch: list = []
+        # Runtime invariant sanitizer (None unless REPRO_SANITIZE /
+        # --sanitize): validates clock monotonicity on every batch pull.
+        self._sanitizer = get_sanitizer()
 
     # ------------------------------------------------------------------
     # Clock
@@ -193,6 +197,8 @@ class Simulator:
         time = self._wheel.pop_batch(batch)
         if time is None:
             return False
+        if self._sanitizer is not None:
+            self._sanitizer.check_time(self._now, time)
         if time < self._now:  # pragma: no cover - defensive
             raise SimulationError(
                 f"time went backwards: {time} < {self._now}"

@@ -84,6 +84,6 @@ class RandomSource:
         for _ in range(count):
             yield bisect.bisect_left(cumulative, rng.random())
 
-    def child(self, name: str) -> "RandomSource":
+    def child(self, name: str) -> RandomSource:
         """A new RandomSource whose streams are independent of this one."""
         return RandomSource(_derive_seed(self.seed, f"child:{name}"))

@@ -25,7 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Resource:
     """A counted pool of interchangeable slots with FIFO waiters."""
 
-    def __init__(self, sim: "Simulator", capacity: int, name: str = "") -> None:
+    def __init__(self, sim: Simulator, capacity: int, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
         self.sim = sim
@@ -74,7 +74,7 @@ class Resource:
 class Store:
     """An unbounded FIFO queue connecting producer and consumer processes."""
 
-    def __init__(self, sim: "Simulator", name: str = "") -> None:
+    def __init__(self, sim: Simulator, name: str = "") -> None:
         self.sim = sim
         self.name = name or "store"
         self._items: Deque[Any] = deque()

@@ -58,6 +58,7 @@ class TextGenerator:
     def document(self, randomness: RandomSource, stream: str) -> Dict[str, int]:
         """One document: bucket name -> token count (nonzero buckets only)."""
         seed = randomness.stream(stream).getrandbits(32)
+        # repro-lint: allow[DET001] rng is seeded from the named RandomSource stream; fully deterministic per (seed, stream)
         rng = np.random.default_rng(seed)
         counts = rng.multinomial(self.tokens_per_document, self.probabilities)
         return {

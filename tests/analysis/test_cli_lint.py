@@ -1,0 +1,104 @@
+"""``repro lint`` CLI: exit codes, JSON output, config errors."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def fixture_tree(tmp_path):
+    """A tiny project: one clean module, one violating module."""
+    pkg = tmp_path / "src" / "repro" / "scheduler"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text("x = 1\n")
+    (pkg / "dirty.py").write_text("import random\n")
+    (tmp_path / "pyproject.toml").write_text("[tool.repro-lint]\n")
+    return tmp_path
+
+
+def test_exit_zero_on_clean_file(fixture_tree, capsys):
+    clean = fixture_tree / "src" / "repro" / "scheduler" / "clean.py"
+    config = fixture_tree / "pyproject.toml"
+    status = main(["lint", str(clean), "--config", str(config)])
+    assert status == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_exit_one_on_findings(fixture_tree, capsys):
+    status = main(
+        [
+            "lint",
+            str(fixture_tree / "src"),
+            "--config",
+            str(fixture_tree / "pyproject.toml"),
+        ]
+    )
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "dirty.py" in out
+
+
+def test_exit_zero_when_all_findings_suppressed(fixture_tree, capsys):
+    dirty = fixture_tree / "src" / "repro" / "scheduler" / "dirty.py"
+    dirty.write_text(
+        "import random  # repro-lint: allow[DET001] fixture exercises rng\n"
+    )
+    status = main(
+        [
+            "lint",
+            str(fixture_tree / "src"),
+            "--config",
+            str(fixture_tree / "pyproject.toml"),
+        ]
+    )
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "1 suppressed" in out
+
+
+def test_exit_two_on_bad_config(fixture_tree, capsys):
+    (fixture_tree / "pyproject.toml").write_text(
+        '[tool.repro-lint]\nno-such-key = ["x"]\n'
+    )
+    status = main(
+        [
+            "lint",
+            str(fixture_tree / "src"),
+            "--config",
+            str(fixture_tree / "pyproject.toml"),
+        ]
+    )
+    assert status == 2
+    assert "no-such-key" in capsys.readouterr().err
+
+
+def test_json_output_is_machine_readable(fixture_tree, capsys):
+    status = main(
+        [
+            "lint",
+            str(fixture_tree / "src"),
+            "--json",
+            "--config",
+            str(fixture_tree / "pyproject.toml"),
+        ]
+    )
+    assert status == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload] == ["DET001"]
+
+
+def test_repo_source_tree_is_lint_clean():
+    """The acceptance gate itself: `repro lint src/repro` exits 0."""
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    source = root / "src" / "repro"
+    if not source.is_dir():  # pragma: no cover - sdist layouts
+        pytest.skip("source tree not present")
+    status = main(
+        ["lint", str(source), "--config", str(root / "pyproject.toml")]
+    )
+    assert status == 0

@@ -1,0 +1,199 @@
+"""Engine self-tests: pragmas, config loading, selection, output.
+
+The linter lints the linter's users, so these tests pin the engine's
+contract on small fixture snippets: where a pragma applies, what makes
+it invalid, how ``[tool.repro-lint]`` is read, and the exit-code
+semantics the CLI builds on.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    LintConfig,
+    LintEngine,
+    format_findings,
+    iter_python_files,
+    known_rules,
+    lint_paths,
+    load_config,
+    module_name_for,
+)
+from repro.errors import ConfigurationError
+
+# A DET001 violation in an ordering/rng-sensitive module name.
+VIOLATION = "import random\nrandom.random()\n"
+MODULE = "repro.scheduler.fixture"
+
+
+def lint(source, module=MODULE, config=None):
+    return LintEngine(config).lint_source(source, path="fx.py", module=module)
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+# ---------------------------------------------------------------------------
+
+
+def test_same_line_pragma_suppresses_with_reason():
+    src = "import random  # repro-lint: allow[DET001] fixture needs raw rng\n"
+    findings = lint(src)
+    assert [f.rule for f in findings] == ["DET001"]
+    assert findings[0].suppressed
+    assert findings[0].reason == "fixture needs raw rng"
+
+
+def test_comment_only_pragma_shields_next_line():
+    src = (
+        "# repro-lint: allow[DET001] fixture needs raw rng\n"
+        "import random\n"
+    )
+    findings = lint(src)
+    assert [f.suppressed for f in findings] == [True]
+
+
+def test_pragma_without_reason_is_unsuppressable_lnt001():
+    src = "import random  # repro-lint: allow[DET001]\n"
+    findings = lint(src)
+    rules = sorted(f.rule for f in findings)
+    assert rules == ["DET001", "LNT001"]
+    # Neither the original finding nor LNT001 is suppressed.
+    assert not any(f.suppressed for f in findings)
+
+
+def test_lnt001_cannot_suppress_itself():
+    src = (
+        "# repro-lint: allow[*]\n"  # reasonless, tries to allow everything
+        "import random\n"
+    )
+    findings = lint(src)
+    assert "LNT001" in {f.rule for f in findings}
+    assert not any(f.suppressed for f in findings)
+
+
+def test_unknown_rule_in_pragma_is_lnt002():
+    src = "x = 1  # repro-lint: allow[NOPE123] because reasons\n"
+    findings = lint(src)
+    assert [f.rule for f in findings] == ["LNT002"]
+
+
+def test_star_pragma_covers_every_rule():
+    src = "import random  # repro-lint: allow[*] quarantined fixture\n"
+    findings = lint(src)
+    assert all(f.suppressed for f in findings)
+
+
+def test_multi_rule_pragma():
+    src = (
+        "import random, time  "
+        "# repro-lint: allow[DET001,DET002] fixture exercises both\n"
+    )
+    findings = lint(src)
+    assert findings and all(f.suppressed for f in findings)
+
+
+def test_pragma_text_inside_docstring_is_inert():
+    src = '"""Example: # repro-lint: allow[NOPE] docs only."""\nx = 1\n'
+    assert lint(src) == []
+
+
+def test_syntax_error_reports_lnt003():
+    findings = lint("def broken(:\n")
+    assert [f.rule for f in findings] == ["LNT003"]
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+def test_load_config_reads_repro_lint_section(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.repro-lint]\n"
+        'rng-allowed = ["myproj.rng"]\n'
+        "slots-classes = [\n"
+        '    "myproj.core:Thing",  # hot path\n'
+        '    "myproj.core:Other",\n'
+        "]\n"
+    )
+    config = load_config(pyproject)
+    assert config.rng_allowed == ("myproj.rng",)
+    assert config.slots_classes == ("myproj.core:Thing", "myproj.core:Other")
+    # Untouched keys keep their defaults.
+    assert "repro.scheduler.*" in config.ordering_sensitive
+
+
+def test_load_config_rejects_unknown_key(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text('[tool.repro-lint]\nrng-alowed = ["typo"]\n')
+    with pytest.raises(ConfigurationError, match="rng-alowed"):
+        load_config(pyproject)
+
+
+def test_engine_rejects_unknown_rule_in_select():
+    with pytest.raises(ConfigurationError, match="NOPE123"):
+        LintEngine(LintConfig(select=("NOPE123",)))
+
+
+def test_select_restricts_rules():
+    config = LintConfig(select=("DET002",))
+    # DET001 violation, but only DET002 selected.
+    assert lint(VIOLATION, config=config) == []
+
+
+def test_known_rules_lists_the_catalogue():
+    assert set(known_rules()) >= {
+        "DET001",
+        "DET002",
+        "DET003",
+        "DET004",
+        "ACC001",
+        "PERF001",
+    }
+
+
+def test_module_name_for_src_layout():
+    from pathlib import Path
+
+    assert module_name_for(Path("src/repro/network/fabric.py")) == (
+        "repro.network.fabric"
+    )
+    assert module_name_for(Path("src/repro/network/__init__.py")) == (
+        "repro.network"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Paths and output
+# ---------------------------------------------------------------------------
+
+
+def test_lint_paths_walks_and_excludes(tmp_path):
+    (tmp_path / "keep.py").write_text(VIOLATION)
+    (tmp_path / "skip.py").write_text(VIOLATION)
+    config = LintConfig(exclude=("*skip.py",))
+    paths = list(iter_python_files([tmp_path], config.exclude))
+    assert [p.name for p in paths] == ["keep.py"]
+    findings = lint_paths([tmp_path], config)
+    assert findings
+    assert all("keep.py" in f.path for f in findings)
+
+
+def test_format_findings_human_and_json():
+    findings = lint(VIOLATION)
+    human = format_findings(findings)
+    assert "DET001" in human
+    assert "finding(s)" in human
+    payload = json.loads(format_findings(findings, as_json=True))
+    assert payload and payload[0]["rule"] == "DET001"
+    assert format_findings([]) == "clean: no findings"
+
+
+def test_format_findings_hides_suppressed_by_default():
+    src = "import random  # repro-lint: allow[DET001] fixture\n"
+    findings = lint(src)
+    assert "DET001" not in format_findings(findings).splitlines()[0]
+    shown = format_findings(findings, show_suppressed=True)
+    assert "suppressed: fixture" in shown

@@ -1,0 +1,192 @@
+"""Per-rule fixtures: each rule catches its target and nothing else."""
+
+from repro.analysis.engine import LintConfig, LintEngine
+
+SENSITIVE = "repro.scheduler.fixture"  # matches ordering_sensitive glob
+ACCOUNTING = "repro.metrics.fixture"  # matches accounting_modules glob
+PLAIN = "repro.workloads.fixture"  # matches neither
+
+
+def rules_in(source, module=SENSITIVE, config=None):
+    engine = LintEngine(config)
+    return [
+        f.rule
+        for f in engine.lint_source(source, path="fx.py", module=module)
+        if not f.suppressed
+    ]
+
+
+# ---------------------------------------------------------------------------
+# DET001 — RNG outside repro.simulation.random_source
+# ---------------------------------------------------------------------------
+
+
+def test_det001_flags_random_import():
+    assert "DET001" in rules_in("import random\n", module=PLAIN)
+
+
+def test_det001_flags_numpy_random_attribute():
+    src = "import numpy as np\nx = np.random.default_rng()\n"
+    assert "DET001" in rules_in(src, module=PLAIN)
+
+
+def test_det001_allows_the_random_source_module():
+    assert rules_in("import random\n", module="repro.simulation.random_source") == []
+
+
+# ---------------------------------------------------------------------------
+# DET002 — wall clock in simulation paths
+# ---------------------------------------------------------------------------
+
+
+def test_det002_flags_time_time():
+    assert "DET002" in rules_in("import time\nnow = time.time()\n")
+
+
+def test_det002_flags_bare_perf_counter_import():
+    src = "from time import perf_counter\nstart = perf_counter()\n"
+    assert "DET002" in rules_in(src)
+
+
+def test_det002_flags_datetime_now():
+    src = "import datetime\nstamp = datetime.datetime.now()\n"
+    assert "DET002" in rules_in(src)
+
+
+def test_det002_respects_wallclock_allowed():
+    config = LintConfig(wallclock_allowed=(SENSITIVE,))
+    assert rules_in("import time\nnow = time.time()\n", config=config) == []
+
+
+# ---------------------------------------------------------------------------
+# DET003 — unordered set iteration in ordering-sensitive modules
+# ---------------------------------------------------------------------------
+
+
+def test_det003_flags_for_over_set_literal():
+    src = "for x in {1, 2, 3}:\n    print(x)\n"
+    assert "DET003" in rules_in(src)
+
+
+def test_det003_flags_set_typed_name():
+    src = "s = set()\ns.add(1)\nfor x in s:\n    print(x)\n"
+    assert "DET003" in rules_in(src)
+
+
+def test_det003_flags_set_comprehension_source():
+    src = "items = [y for y in {1, 2}]\n"
+    assert "DET003" in rules_in(src)
+
+
+def test_det003_flags_set_union_result():
+    src = "a = set()\nb = set()\nfor x in a | b:\n    print(x)\n"
+    assert "DET003" in rules_in(src)
+
+
+def test_det003_accepts_sorted_iteration():
+    src = "s = set()\nfor x in sorted(s):\n    print(x)\n"
+    assert "DET003" not in rules_in(src)
+
+
+def test_det003_ignores_insensitive_modules():
+    src = "for x in {1, 2, 3}:\n    print(x)\n"
+    assert "DET003" not in rules_in(src, module=PLAIN)
+
+
+def test_det003_nested_function_tracks_its_own_names():
+    # `s` in the outer scope is a set; the inner `s` is a list.
+    src = (
+        "s = set()\n"
+        "def inner():\n"
+        "    s = [1, 2]\n"
+        "    for x in s:\n"
+        "        print(x)\n"
+    )
+    assert "DET003" not in rules_in(src)
+
+
+# ---------------------------------------------------------------------------
+# DET004 — id() in ordering positions
+# ---------------------------------------------------------------------------
+
+
+def test_det004_flags_id_as_sort_key():
+    src = "items = sorted(objs, key=lambda o: id(o))\n"
+    assert "DET004" in rules_in(src)
+
+
+def test_det004_flags_bare_id_as_key():
+    src = "items = sorted(objs, key=id)\n"
+    assert "DET004" in rules_in(src)
+
+
+def test_det004_flags_id_as_dict_key():
+    src = "table = {id(obj): obj}\n"
+    assert "DET004" in rules_in(src)
+
+
+def test_det004_flags_id_in_comparison():
+    src = "flag = id(a) < id(b)\n"
+    assert "DET004" in rules_in(src)
+
+
+def test_det004_allows_id_outside_ordering():
+    src = "label = f'obj-{id(obj)}'\n"
+    assert "DET004" not in rules_in(src)
+
+
+# ---------------------------------------------------------------------------
+# ACC001 — float += accumulation in accounting modules
+# ---------------------------------------------------------------------------
+
+
+def test_acc001_flags_float_augassign_in_loop():
+    src = (
+        "total = 0.0\n"
+        "for v in values:\n"
+        "    total += v\n"
+    )
+    assert "ACC001" in rules_in(src, module=ACCOUNTING)
+
+
+def test_acc001_ignores_integer_counters():
+    src = "count = 0\nfor v in values:\n    count += 1\n"
+    assert "ACC001" not in rules_in(src, module=ACCOUNTING)
+
+
+def test_acc001_ignores_non_accounting_modules():
+    src = "total = 0.0\nfor v in values:\n    total += v\n"
+    assert "ACC001" not in rules_in(src, module=PLAIN)
+
+
+def test_acc001_ignores_accumulation_outside_loops():
+    src = "total = 0.0\ntotal += delta\n"
+    assert "ACC001" not in rules_in(src, module=ACCOUNTING)
+
+
+# ---------------------------------------------------------------------------
+# PERF001 — configured hot-path classes must define __slots__
+# ---------------------------------------------------------------------------
+
+
+def test_perf001_flags_missing_slots():
+    config = LintConfig(slots_classes=(f"{PLAIN}:Hot",))
+    src = "class Hot:\n    def __init__(self):\n        self.x = 1\n"
+    assert "PERF001" in rules_in(src, module=PLAIN, config=config)
+
+
+def test_perf001_accepts_slots():
+    config = LintConfig(slots_classes=(f"{PLAIN}:Hot",))
+    src = "class Hot:\n    __slots__ = ('x',)\n"
+    assert "PERF001" not in rules_in(src, module=PLAIN, config=config)
+
+
+def test_perf001_reports_stale_config_entry():
+    config = LintConfig(slots_classes=(f"{PLAIN}:Gone",))
+    src = "class Hot:\n    __slots__ = ('x',)\n"
+    assert "PERF001" in rules_in(src, module=PLAIN, config=config)
+
+
+def test_perf001_ignores_unlisted_classes():
+    src = "class Cold:\n    def __init__(self):\n        self.x = 1\n"
+    assert "PERF001" not in rules_in(src, module=PLAIN)

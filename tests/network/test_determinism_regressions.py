@@ -1,0 +1,139 @@
+"""Regression pins for the nondeterminism fixes surfaced by DET003/ACC001.
+
+Each test targets one concrete fix:
+
+* the progressive-filling solvers iterate ``active`` in the caller's
+  ``flow_routes`` insertion order (dict-as-ordered-set), never hash
+  order, so the returned rate dict's key order cannot vary with
+  ``PYTHONHASHSEED`` — and string flow ids (whose hashes *are*
+  randomized) still produce identical payloads;
+* the vector drive sorts its plan worklists (previously iterated as a
+  ``set`` of plan objects, i.e. memory-address order, which leaked into
+  timer sequence numbers) — pinned by running the identical stream
+  twice in one process, where allocation addresses differ between runs;
+* billing reduces with ``fsum`` so dollar totals are independent of the
+  order flows were recorded in.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import ExperimentPlan, clear_data_cache, run_matrix
+from repro.experiments.schemes import Scheme
+from repro.metrics.billing import bill_traffic
+from repro.network.fair_share import max_min_fair_rates
+from repro.network.traffic_monitor import TrafficMonitor
+from repro.workloads import workload_by_name
+from repro.workloads.arrivals import ArrivalSpec, StreamSpec, TenantSpec
+from tests.conftest import small_spec
+
+
+# ---------------------------------------------------------------------------
+# Solver iteration order (fair_share.py DET003 fix)
+# ---------------------------------------------------------------------------
+
+
+def test_solver_returns_rates_in_route_insertion_order():
+    routes = {"f3": ["wan"], "f1": ["wan"], "f2": ["wan"]}
+    rates = max_min_fair_rates(routes, {"wan": 90.0})
+    assert list(rates) == ["f3", "f1", "f2"]
+    assert all(rate == pytest.approx(30.0) for rate in rates.values())
+
+
+def test_solver_rates_equal_under_permuted_insertion():
+    capacities = {"wan": 100.0, "lan-a": 60.0, "lan-b": 45.0}
+    routes = {
+        "alpha": ["lan-a", "wan"],
+        "bravo": ["lan-b", "wan"],
+        "charlie": ["wan"],
+        "delta": ["lan-a"],
+    }
+    forward = max_min_fair_rates(dict(routes), capacities)
+    reversed_routes = dict(reversed(list(routes.items())))
+    backward = max_min_fair_rates(reversed_routes, capacities)
+    # Bit-identical rates per flow regardless of admission order.
+    assert {f: forward[f] for f in routes} == {f: backward[f] for f in routes}
+
+
+def test_weighted_solver_is_insertion_order_deterministic():
+    routes = {"b": ["wan"], "a": ["wan"]}
+    weights = {"a": 3.0, "b": 1.0}
+    rates = max_min_fair_rates(routes, {"wan": 80.0}, flow_weights=weights)
+    assert list(rates) == ["b", "a"]
+    assert rates["a"] == pytest.approx(60.0)
+    assert rates["b"] == pytest.approx(20.0)
+
+
+# ---------------------------------------------------------------------------
+# Billing accumulation order (billing.py ACC001 fix)
+# ---------------------------------------------------------------------------
+
+
+def test_billing_totals_are_recording_order_independent():
+    # Values chosen so a naive running float sum differs between orders.
+    flows = [
+        ("ap-southeast-2", "us-east-1", 1e9 / 3.0),
+        ("us-east-1", "eu-central-1", 1e9 / 7.0),
+        ("sa-east-1", "us-east-1", 1e9 / 11.0),
+        ("eu-central-1", "ap-southeast-1", 1e9 / 13.0),
+        ("us-east-1", "us-east-1", 5e8),  # intra-dc: free, ignored
+    ] * 9
+    forward, backward = TrafficMonitor(), TrafficMonitor()
+    for src, dst, size in flows:
+        forward.record(src, dst, size)
+    for src, dst, size in reversed(flows):
+        backward.record(src, dst, size)
+    a, b = bill_traffic(forward), bill_traffic(backward)
+    assert a.total_dollars == b.total_dollars  # exact, not approx
+    assert a.by_source == b.by_source
+    assert a.by_pair == b.by_pair
+    assert a.total_dollars > 0
+
+
+# ---------------------------------------------------------------------------
+# Fabric plan worklists (fabric.py DET003 fix)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    clear_data_cache()
+    yield
+    clear_data_cache()
+
+
+def _stream_plan():
+    return ExperimentPlan(
+        cluster=small_spec(datacenters=("dc-a", "dc-b")),
+        seeds=(11,),
+        stream=StreamSpec(
+            arrival=ArrivalSpec(
+                process="poisson", rate_per_minute=120.0, num_jobs=4
+            ),
+            tenants=(TenantSpec("t", weight=1.0, share=1.0),),
+            policy="fifo",
+            max_concurrent=2,
+        ),
+    )
+
+
+def _comparable(result):
+    data = dataclasses.asdict(result)
+    data["fabric_perf"] = {
+        key: value
+        for key, value in data["fabric_perf"].items()
+        if key != "solver_seconds"
+    }
+    return data
+
+
+def test_repeated_stream_runs_are_byte_identical_in_process():
+    """Object addresses differ between in-process runs, so any residual
+    memory-address ordering (the bug the plan-worklist sort fixed) would
+    diverge here."""
+    workloads = [workload_by_name("wordcount")]
+    first = run_matrix(workloads, [Scheme.SPARK], _stream_plan())
+    clear_data_cache()
+    second = run_matrix(workloads, [Scheme.SPARK], _stream_plan())
+    assert [_comparable(r) for r in first] == [_comparable(r) for r in second]

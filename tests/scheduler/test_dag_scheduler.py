@@ -50,7 +50,7 @@ def test_reducers_prefer_aggregated_shuffle_input():
     context = make_context(push=True)
     context.write_input_file(
         "/in",
-        [[("k%d" % i, 1)] * 3 for i in range(4)],
+        [[(f"k{i}", 1)] * 3 for i in range(4)],
     )
     reduced = context.text_file("/in").transfer_to("dc-b").reduce_by_key(
         lambda a, b: a + b

@@ -1,0 +1,146 @@
+"""Timer-wheel edge cases: lazy cancellation after firing, bucket
+rollover around ``run(until=...)`` horizons, and past-time scheduling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.kernel import Simulator
+from repro.simulation.timer_wheel import TimerHandle, TimerWheel
+
+
+# ---------------------------------------------------------------------------
+# Lazy cancellation of an already-fired timer
+# ---------------------------------------------------------------------------
+
+
+def test_cancel_after_fire_is_harmless():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(1.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+    # The timer already fired; cancelling now must be a silent no-op.
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_cancelled_timer_never_fires_and_costs_no_delivery():
+    sim = Simulator()
+    fired = []
+    keep = sim.call_later(2.0, lambda: fired.append("keep"))
+    drop = sim.call_later(1.0, lambda: fired.append("drop"))
+    drop.cancel()
+    before = sim.processed_events
+    sim.run()
+    assert fired == ["keep"]
+    assert not keep.cancelled
+    # Only the surviving timer was delivered; the cancelled one was
+    # purged at drain time, not dispatched as a no-op.
+    assert sim.processed_events == before + 1
+
+
+def test_all_cancelled_batch_skips_to_next_instant():
+    wheel = TimerWheel(0.05)
+    a, b = TimerHandle(lambda: None), TimerHandle(lambda: None)
+    later = TimerHandle(lambda: None)
+    wheel.push(1.0, 0, a)
+    wheel.push(1.0, 1, b)
+    wheel.push(2.0, 2, later)
+    a.cancel()
+    b.cancel()
+    batch = []
+    # pop_batch must not report an empty batch for the dead instant.
+    assert wheel.pop_batch(batch) == 2.0
+    assert batch == [later]
+    assert wheel.pop_batch([]) is None
+
+
+# ---------------------------------------------------------------------------
+# Bucket rollover at the wheel horizon
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_parks_mid_bucket_then_resumes_in_order():
+    # Two timers land in the *same* bucket (granularity 0.05); the run
+    # horizon splits the bucket, so the remainder must be parked and
+    # resumed without loss or reordering.
+    sim = Simulator(timer_granularity=0.05)
+    fired = []
+    sim.call_at(0.101, lambda: fired.append(0.101))
+    sim.call_at(0.104, lambda: fired.append(0.104))
+    sim.run(until=0.102)
+    assert fired == [0.101]
+    assert sim.now == 0.102
+    sim.run()
+    assert fired == [0.101, 0.104]
+
+
+def test_earlier_timer_scheduled_after_parking_fires_first():
+    # After parking mid-bucket, schedule a new timer into an *earlier*
+    # bucket than the parked remainder: the wheel must notice the newer
+    # bucket precedes the suspended one (the _suspend_active path).
+    sim = Simulator(timer_granularity=1.0)
+    fired = []
+    sim.call_at(10.2, lambda: fired.append(10.2))
+    sim.call_at(10.8, lambda: fired.append(10.8))
+    sim.run(until=10.5)
+    assert fired == [10.2]
+    early = sim.call_later(0.1, lambda: fired.append("early"))
+    assert not early.cancelled
+    sim.run()
+    assert fired == [10.2, "early", 10.8]
+
+
+def test_same_instant_entries_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for tag in ("a", "b", "c"):
+        sim.call_at(5.0, lambda tag=tag: fired.append(tag))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_push_into_active_bucket_keeps_sorted_order():
+    # While draining a bucket, a callback schedules another timer into
+    # the same bucket at a later sub-bucket time: it must fire after the
+    # current entry, in time order.
+    sim = Simulator(timer_granularity=1.0)
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.call_at(7.9, lambda: fired.append("second"))
+
+    sim.call_at(7.1, first)
+    sim.run()
+    assert fired == ["first", "second"]
+
+
+# ---------------------------------------------------------------------------
+# call_at in the past
+# ---------------------------------------------------------------------------
+
+
+def test_call_at_in_the_past_raises():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    with pytest.raises(SimulationError, match="past"):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="negative"):
+        sim.call_later(-0.1, lambda: None)
+
+
+def test_call_at_now_fires_this_instant():
+    sim = Simulator()
+    fired = []
+    sim.call_at(0.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [0.0]
