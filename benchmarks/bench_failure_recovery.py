@@ -13,7 +13,16 @@ model:
   resubmit the map stage from lineage, re-merge onto a survivor, and
   still produce the correct output;
 * **degrade** — a deep WAN degradation mid-run; all backends finish
-  with unchanged output.
+  with unchanged output;
+* **durability vs lineage** — the *same* storage-losing event (the
+  ``shuffle_worker`` chaos kind: kills the pool worker on the remote
+  backend, the data-heaviest host elsewhere) hits all five backends
+  mid-reduce.  The lineage backends (fetch / push_aggregate /
+  pre_merge) must resubmit the map stage to recompute the lost shuffle
+  data; the durable backends (remote / blob) absorb it with **zero**
+  resubmissions — remote promotes surviving replicas and pays
+  background re-replication bytes, blob re-registers its durable
+  objects and pays re-read requests only.
 
 Every chaos run's output is asserted byte-equal to its clean run, and
 every backend's byte counters are asserted to reconcile exactly with
@@ -33,6 +42,8 @@ from repro.failures import ChaosEvent, ChaosSchedule
 from repro.network.topology import GBPS, MBPS
 
 BACKENDS = ("fetch", "push_aggregate", "pre_merge")
+DURABLE = ("remote", "blob")
+ALL_BACKENDS = BACKENDS + DURABLE
 NUM_PARTITIONS = 48  # four reduce waves on the 12-slot cluster
 SCALE = 1e5
 # Skewed input (paper §II-A: raw data is generated unevenly across
@@ -41,6 +52,14 @@ SCALE = 1e5
 # windows overlap in absolute time and one crash event can hit each of
 # them mid-reduce.
 PLACEMENT = ("dc-a-w0", "dc-a-w1", "dc-a-w0", "dc-a-w1", "dc-a-w1", "dc-b-w0")
+# Scenario D replicates DFS input x2.  Round-robin replica placement
+# takes *adjacent* entries of the candidate list, so this variant keeps
+# the dc-a skew but never repeats a host in adjacent slots — every
+# block genuinely gets two copies and lineage recovery never bottoms
+# out at a lost input block.
+DURABLE_PLACEMENT = (
+    "dc-a-w0", "dc-a-w1", "dc-a-w0", "dc-a-w1", "dc-a-w0", "dc-b-w0"
+)
 
 
 def _spec() -> ClusterSpec:
@@ -63,19 +82,25 @@ def _config(backend: str, chaos=None, replication: int = 1) -> SimulationConfig:
     )
 
 
-def _run(backend: str, chaos=None, replication: int = 1) -> Tuple[ClusterContext, List]:
+def _run(
+    backend: str,
+    chaos=None,
+    replication: int = 1,
+    placement: Tuple[str, ...] = PLACEMENT,
+) -> Tuple[ClusterContext, List]:
     context = ClusterContext(_spec(), _config(backend, chaos, replication))
     records = [(f"k{i % 29}", i) for i in range(96)]
     context.write_input_file(
         "/in",
         [records[i::6] for i in range(6)],
-        placement_hosts=list(PLACEMENT),
+        placement_hosts=list(placement),
     )
     result = sorted(
         context.text_file("/in")
         .reduce_by_key(lambda a, b: a + b, num_partitions=NUM_PARTITIONS)
         .collect()
     )
+    context.sim.run()  # drain background repair flows (remote re-replication)
     context.shutdown()
     return context, result
 
@@ -152,6 +177,28 @@ def _shared_crash_event(cleans: Dict[str, ClusterContext]) -> ChaosEvent:
     )
 
 
+def _storage_event_for(clean: ClusterContext) -> ChaosEvent:
+    """The storage-losing ``shuffle_worker`` event, 25% into this
+    backend's own clean reduce window.
+
+    The backends' reduce windows do not overlap in absolute time (the
+    remote backend's upload + replicate hand-off pushes its reduce
+    phase out past the lineage backends' whole jobs), so the fault is
+    matched in *relative* position instead: same kind, same target
+    datacenter, same point in each backend's reduce phase.  The kind
+    resolves per backend at fire time — dc-a's pool worker on the
+    remote backend (primary shuffle copies), dc-a's data-heaviest host
+    elsewhere (map / aggregated / merged output).  Early in the window,
+    so later reduce waves still need the lost data — lineage backends
+    must resubmit, durable ones must not.
+    """
+    spans = _reduce_spans(clean)
+    window_start = min(span.started_at for span in spans)
+    window_end = max(span.finished_at for span in spans)
+    when = window_start + 0.25 * (window_end - window_start)
+    return ChaosEvent(at=when, kind="shuffle_worker", target="dc-a")
+
+
 def _run_scenarios() -> Dict:
     cleans: Dict[str, ClusterContext] = {}
     clean_results: Dict[str, List] = {}
@@ -218,11 +265,61 @@ def _run_scenarios() -> Dict:
             "resubmitted": context.recovery.stages_resubmitted,
         }
 
+    # Durability vs lineage: one storage-losing event, five backends.
+    # Replicated DFS input so lineage recovery never bottoms out at a
+    # lost input block — the contrast measured is pure shuffle recovery.
+    d_cleans: Dict[str, ClusterContext] = {}
+    d_results: Dict[str, List] = {}
+    for backend in ALL_BACKENDS:
+        d_cleans[backend], d_results[backend] = _run(
+            backend, replication=2, placement=DURABLE_PLACEMENT
+        )
+    durability_rows = {}
+    for backend in ALL_BACKENDS:
+        storage_event = _storage_event_for(d_cleans[backend])
+        context, result = _run(
+            backend,
+            chaos=ChaosSchedule((storage_event,)),
+            replication=2,
+            placement=DURABLE_PLACEMENT,
+        )
+        assert result == d_results[backend]
+        assert context.recovery.shuffle_worker_losses == 1
+        _assert_counters_reconcile(context)
+        counters = context.shuffle_service.counters
+        durability_rows[backend] = {
+            "event_at": storage_event.at,
+            "clean_jct": d_cleans[backend].metrics.job.duration,
+            "chaos_jct": context.metrics.job.duration,
+            "resubmitted": context.recovery.stages_resubmitted,
+            "recomputed": context.recovery.tasks_recomputed,
+            "recovery_mb": (
+                counters.recovery_wan_bytes + counters.recovery_intra_dc_bytes
+            ) / 1e6,
+            "promotions": counters.replica_promotions,
+            "rereplication_mb": counters.rereplication_bytes / 1e6,
+            "blob_gets": counters.blob_gets,
+        }
+    # The separation the durable backends exist for: same event, zero
+    # resubmissions and zero recomputation on remote/blob, lineage
+    # resubmission everywhere else.
+    for backend in BACKENDS:
+        assert durability_rows[backend]["resubmitted"] >= 1, backend
+    for backend in DURABLE:
+        assert durability_rows[backend]["resubmitted"] == 0, backend
+        assert durability_rows[backend]["recomputed"] == 0, backend
+    assert durability_rows["remote"]["promotions"] >= 1
+    assert durability_rows["remote"]["rereplication_mb"] > 0
+    assert durability_rows["blob"]["blob_gets"] >= d_cleans[
+        "blob"
+    ].shuffle_service.counters.blob_gets
+
     return {
         "crash": crash_rows,
         "crash_event": crash,
         "merger": merger_row,
         "degrade": degrade_rows,
+        "durability": durability_rows,
     }
 
 
@@ -264,6 +361,27 @@ def _render(data: Dict) -> List[str]:
             f"{backend:<16}{row['clean_jct']:>11.1f}{row['chaos_jct']:>11.1f}"
             f"{row['resubmitted']:>13d}"
         )
+    lines += [
+        "",
+        "Scenario D — durability vs lineage: shuffle_worker:dc-a "
+        "(storage-losing) 25% into each backend's reduce window, "
+        "DFS input replicated x2",
+        f"{'backend':<16}{'event t':>9}{'clean JCT':>11}{'chaos JCT':>11}"
+        f"{'resubmitted':>13}{'recovery MB':>13}{'re-repl MB':>12}"
+        f"{'promotions':>12}",
+    ]
+    for backend in ALL_BACKENDS:
+        row = data["durability"][backend]
+        lines.append(
+            f"{backend:<16}{row['event_at']:>9.1f}"
+            f"{row['clean_jct']:>11.1f}{row['chaos_jct']:>11.1f}"
+            f"{row['resubmitted']:>13d}{row['recovery_mb']:>13.1f}"
+            f"{row['rereplication_mb']:>12.1f}{row['promotions']:>12d}"
+        )
+    lines.append(
+        "  durable backends recover by replica promotion (remote) or "
+        "re-read of durable objects (blob): zero stages resubmitted"
+    )
     return lines
 
 
@@ -274,3 +392,11 @@ def test_failure_recovery_across_backends(benchmark):
     # subsystem: fetch pays WAN to recover, push does not.
     assert data["crash"]["fetch"]["recovery_wan_mb"] > 0
     assert data["crash"]["push_aggregate"]["recovery_wan_mb"] == 0
+    # And the durability contrast: under the same storage-losing event
+    # every lineage backend resubmits, neither durable backend does.
+    assert all(
+        data["durability"][b]["resubmitted"] >= 1 for b in BACKENDS
+    )
+    assert all(
+        data["durability"][b]["resubmitted"] == 0 for b in DURABLE
+    )

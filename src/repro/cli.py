@@ -68,7 +68,7 @@ def _plan(
             # Storage-losing events need a second input replica, or
             # lineage recovery bottoms out at permanently lost blocks.
             if any(
-                e.kind in ("host", "outage", "merger")
+                e.kind in ("host", "outage", "merger", "shuffle_worker")
                 for e in schedule.events
             ):
                 replication = 2
@@ -514,7 +514,8 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         metavar="SPEC",
         help="timed fault to inject (repeatable): crash:<host>@<t>, "
-        "host:<host>@<t>, outage:<dc>@<t>, merger:<dc>@<t>, or "
+        "host:<host>@<t>, outage:<dc>@<t>, merger:<dc>@<t>, "
+        "shuffle_worker:<dc>@<t>, blob_outage:<dc>@<t>[+<duration>], or "
         "degrade:<src_dc>-><dst_dc>@<t>x<factor>[+<duration>] "
         "(degrade competes with bandwidth jitter; see DESIGN.md §9)",
     )

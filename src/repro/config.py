@@ -242,6 +242,14 @@ class ShuffleConfig:
     aggregation_subset_size: int = 1
     # Explicit backend name; None derives it from the legacy flags.
     backend: Optional[str] = None
+    # Durability-first backends.  ``remote``: base replica count of the
+    # shuffle-worker pool (adaptively raised — capped at 3 — while WAN
+    # breakers are open or datacenters are blacklist-excluded), workers
+    # pinned per datacenter, and the per-worker memory buffer before
+    # accepted bytes spill to local disk.
+    remote_replication: int = 2
+    shuffle_workers_per_datacenter: int = 1
+    shuffle_worker_buffer_bytes: float = 64e6
 
     @property
     def backend_name(self) -> str:
@@ -257,6 +265,19 @@ class ShuffleConfig:
             )
         if self.aggregation_subset_size < 1:
             raise ConfigurationError("aggregation_subset_size must be >= 1")
+        if not 1 <= self.remote_replication <= 3:
+            raise ConfigurationError(
+                "remote_replication must be in [1, 3], "
+                f"got {self.remote_replication!r}"
+            )
+        if self.shuffle_workers_per_datacenter < 1:
+            raise ConfigurationError(
+                "shuffle_workers_per_datacenter must be >= 1"
+            )
+        if self.shuffle_worker_buffer_bytes <= 0:
+            raise ConfigurationError(
+                "shuffle_worker_buffer_bytes must be > 0"
+            )
         # Imported lazily: the backend modules depend on config for their
         # own imports.
         from repro.shuffle.backends import backend_names

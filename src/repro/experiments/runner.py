@@ -24,7 +24,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.cluster.builder import ClusterSpec, ec2_six_region_spec
 from repro.cluster.context import ClusterContext
 from repro.config import SimulationConfig
-from repro.metrics.billing import bill_traffic
+from repro.metrics.billing import bill_traffic, blob_request_dollars
 from repro.experiments.placement import (
     DEFAULT_HOT_WEIGHT,
     skewed_block_placement,
@@ -184,6 +184,7 @@ def run_workload_once(
                 duration=centralize_duration,
             ),
         )
+    shuffle_perf = context.shuffle_service.perf_snapshot()
     return RunResult(
         workload=workload.name,
         scheme=scheme,
@@ -197,13 +198,18 @@ def run_workload_once(
             tag: size / 1e6
             for tag, size in context.traffic.cross_dc_by_tag.items()
         },
-        cost_dollars=bill_traffic(context.traffic).total_dollars,
+        # Egress dollars plus object-store request dollars (zero for
+        # backends that never touch the blob store).
+        cost_dollars=(
+            bill_traffic(context.traffic).total_dollars
+            + blob_request_dollars(shuffle_perf)
+        ),
         stages=stages,
         injected_failures=job.injected_failures,
         action_result=action_result if plan.keep_action_results else None,
         fabric_perf=context.fabric.perf_snapshot(),
         backend=context.shuffle_service.backend_name,
-        shuffle_perf=context.shuffle_service.perf_snapshot(),
+        shuffle_perf=shuffle_perf,
         injected_failures_total=context.failure_injector.total_injected,
         straggler_hits=context.failure_injector.stragglers_hit,
         chaos_events_applied=(
@@ -252,6 +258,7 @@ def _run_stream_cell(
         row["monitor_wan_bytes"] = context.traffic.cross_dc_by_tenant.get(
             name, 0.0
         )
+    shuffle_perf = context.shuffle_service.perf_snapshot()
     return RunResult(
         workload=f"stream:{stream_spec.policy}",
         scheme=scheme,
@@ -265,10 +272,13 @@ def _run_stream_cell(
             tag: size / 1e6
             for tag, size in context.traffic.cross_dc_by_tag.items()
         },
-        cost_dollars=bill_traffic(context.traffic).total_dollars,
+        cost_dollars=(
+            bill_traffic(context.traffic).total_dollars
+            + blob_request_dollars(shuffle_perf)
+        ),
         backend=context.shuffle_service.backend_name,
         fabric_perf=context.fabric.perf_snapshot(),
-        shuffle_perf=context.shuffle_service.perf_snapshot(),
+        shuffle_perf=shuffle_perf,
         injected_failures_total=context.failure_injector.total_injected,
         straggler_hits=context.failure_injector.stragglers_hit,
         chaos_events_applied=(

@@ -19,6 +19,11 @@ and an optional input pre-processing phase that runs before the job.
   backend (see :mod:`repro.experiments.iridium`).
 * ``Scheme.PREMERGE`` — extension: the ``pre_merge`` backend, which
   consolidates map outputs per datacenter before the WAN hop.
+* ``Scheme.REMOTE`` — extension: the ``remote`` backend, a dedicated
+  shuffle-worker tier with adaptive replication (durability-first
+  recovery instead of lineage).
+* ``Scheme.BLOB`` — extension: the ``blob`` backend, a per-region
+  object store where recovery cost is re-read dollars.
 
 Backend-only schemes are *enumerated from the registry*: registering a
 new :class:`~repro.shuffle.service.ShuffleBackend` (plus an enum member
@@ -50,6 +55,10 @@ class Scheme(enum.Enum):
     # Extensions, not part of the paper's evaluation.
     IRIDIUM = "IridiumLike"
     PREMERGE = "PreMerge"
+    # Durability-first extensions (ROADMAP item 2): dedicated shuffle
+    # workers with adaptive replication, and a per-region object store.
+    REMOTE = "RemoteShuffle"
+    BLOB = "BlobShuffle"
 
 
 # A pre-processing phase: (context, input_path, cluster_spec) -> seconds.

@@ -19,6 +19,15 @@ sequence:
   backend's ``merger_host`` hook); for backends without mergers it
   falls back to the live host storing the most map-output bytes, so
   the same schedule stays meaningful across backends;
+* ``shuffle_worker`` — the datacenter's busiest *dedicated shuffle
+  worker* is lost (resolved at fire time via the backend's
+  ``shuffle_worker_host`` hook); for backends without a worker pool it
+  falls back to the live host storing the most map-output bytes, so
+  the same schedule stays meaningful across backends;
+* ``blob_outage`` — the datacenter's regional object store goes dark
+  for ``duration`` seconds: blob requests inside the window retry
+  (transient errors) until it closes.  Only meaningful for the
+  ``blob`` backend; skipped-and-recorded elsewhere;
 * ``degrade`` — one WAN link's capacity is multiplied by ``factor``;
   with a ``duration`` the base capacity is restored afterwards (a
   *flap* is a deep degrade with a short duration).  Note that
@@ -32,6 +41,7 @@ terminates.  Compact CLI syntax (``--chaos crash:dc-a-w0@5``)::
 
     crash:<host>@<t>            outage:<dc>@<t>
     host:<host>@<t>             merger:<dc>@<t>
+    shuffle_worker:<dc>@<t>     blob_outage:<dc>@<t>[+<duration>]
     degrade:<src>-><dst>@<t>x<factor>[+<duration>]
 """
 
@@ -48,7 +58,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.network.topology import Link
     from repro.simulation.random_source import RandomSource
 
-KINDS = ("crash", "host", "outage", "merger", "degrade")
+KINDS = (
+    "crash", "host", "outage", "merger",
+    "shuffle_worker", "blob_outage", "degrade",
+)
+
+# A blob_outage with no explicit ``+<duration>`` lasts this long.
+DEFAULT_BLOB_OUTAGE_DURATION = 5.0
 
 # Link capacities must stay positive; a "down" link is one at this floor.
 MIN_LINK_CAPACITY = 1.0
@@ -90,6 +106,12 @@ class ChaosEvent:
             if "->" not in self.target:
                 raise ConfigurationError(
                     "degrade target must be '<src_dc>-><dst_dc>'"
+                )
+        if self.kind == "blob_outage":
+            if not math.isfinite(self.duration) or self.duration <= 0:
+                raise ConfigurationError(
+                    "blob_outage duration must be finite and > 0, "
+                    f"got {self.duration!r}"
                 )
 
     @property
@@ -142,6 +164,11 @@ class ChaosSchedule:
                 factor_part, _, duration_part = factor_part.partition("+")
                 duration = _parse_number(spec, duration_part)
             factor = _parse_number(spec, factor_part)
+        if kind == "blob_outage":
+            duration = DEFAULT_BLOB_OUTAGE_DURATION
+            if "+" in when:
+                when, _, duration_part = when.partition("+")
+                duration = _parse_number(spec, duration_part)
         event = ChaosEvent(
             at=_parse_number(spec, when),
             kind=kind,
@@ -329,6 +356,33 @@ class ChaosInjector:
         merger = context.shuffle_service.merger_host(datacenter)
         if merger is not None and merger in context.executors:
             return merger
+        return self._busiest_store_host(datacenter)
+
+    def _apply_shuffle_worker(self, event: ChaosEvent) -> str:
+        context = self.context
+        self._require_datacenter(event.target)
+        worker = self._resolve_shuffle_worker(event.target)
+        if worker is None:
+            raise ConfigurationError(
+                f"no shuffle-worker candidate alive in {event.target!r}"
+            )
+        context.fail_host(worker)
+        context.recovery.shuffle_worker_losses += 1
+        return f"lost shuffle worker {worker}"
+
+    def _resolve_shuffle_worker(self, datacenter: str) -> Optional[str]:
+        """The backend's busiest dedicated shuffle worker in
+        ``datacenter``; for backends without a worker pool, the live host
+        storing the most map-output bytes, so the schedule ports across
+        backends."""
+        context = self.context
+        worker = context.shuffle_service.shuffle_worker_host(datacenter)
+        if worker is not None and worker in context.executors:
+            return worker
+        return self._busiest_store_host(datacenter)
+
+    def _busiest_store_host(self, datacenter: str) -> Optional[str]:
+        context = self.context
         candidates = [
             host for host in sorted(context.topology.hosts_in(datacenter))
             if host in context.executors
@@ -339,6 +393,23 @@ class ChaosInjector:
         return min(
             candidates, key=lambda host: (-by_host.get(host, 0.0), host)
         )
+
+    def _require_datacenter(self, name: str) -> None:
+        if name not in self.context.topology.datacenters:
+            raise ConfigurationError(f"unknown datacenter {name!r}")
+
+    def _apply_blob_outage(self, event: ChaosEvent) -> str:
+        context = self.context
+        self._require_datacenter(event.target)
+        store = context.shuffle_service.blob_store()
+        if store is None:
+            raise ConfigurationError(
+                "backend has no blob store; blob_outage skipped"
+            )
+        until = context.sim.now + event.duration
+        store.open_outage(event.target, until)
+        context.recovery.blob_outages += 1
+        return f"blob store {event.target} dark until t={until:g}"
 
     def _apply_degrade(self, event: ChaosEvent) -> str:
         context = self.context

@@ -80,6 +80,42 @@ def bill_traffic(
     )
 
 
+@dataclass(frozen=True)
+class BlobPricing:
+    """Object-store request pricing (S3-style, per 1 000 requests).
+
+    Egress bytes are already priced by :class:`PricingPolicy` from the
+    traffic monitor; this adds the *request* dimension the BlobShuffle
+    design point pays for — a PUT per published map output and a GET per
+    map output read — so the ``blob`` backend's recovery story
+    ("re-read dollars, not recomputation") is visible in run cost.
+    """
+
+    put_per_1k: float = 0.005
+    get_per_1k: float = 0.0004
+
+    def request_dollars(self, puts: int, gets: int) -> float:
+        """Dollar cost of ``puts`` PUT and ``gets`` GET requests."""
+        return (puts / 1000.0) * self.put_per_1k + (
+            gets / 1000.0
+        ) * self.get_per_1k
+
+
+def blob_request_dollars(
+    shuffle_perf: Mapping[str, float], pricing: BlobPricing | None = None
+) -> float:
+    """Request dollars for one run's shuffle-counter snapshot.
+
+    Zero for every backend that issues no object-store requests, so the
+    harness can add this unconditionally to the egress bill.
+    """
+    pricing = pricing if pricing is not None else BlobPricing()
+    return pricing.request_dollars(
+        int(shuffle_perf.get("blob_puts", 0)),
+        int(shuffle_perf.get("blob_gets", 0)),
+    )
+
+
 def cost_comparison(
     monitors: Mapping[str, TrafficMonitor],
     policy: PricingPolicy | None = None,

@@ -99,7 +99,21 @@ class ShuffleCounters:
       pre-merge re-consolidation) — always <= the matching total, so
       the counter/monitor equivalence invariant is unchanged;
     * ``local_bytes``             — shuffle input served from local disk
-      (no network flow).
+      (no network flow);
+    * ``replication_bytes``       — bytes copied to additional replicas
+      by a durability-first backend (the ``remote`` shuffle-worker
+      pool's r-1 extra copies) during normal operation;
+    * ``rereplication_bytes``     — the subset of replica copies made to
+      *restore* the replication factor after a worker loss (always also
+      counted as recovery bytes above);
+    * ``replica_promotions``      — map outputs whose primary copy was
+      lost and a surviving replica took over serving reads (the
+      durability path's zero-resubmission handoff);
+    * ``spill_bytes``             — bytes a shuffle worker accepted past
+      its memory buffer and spilled to local disk (no network flow);
+    * ``blob_puts`` / ``blob_gets`` — object-store requests issued by
+      the ``blob`` backend (priced per-request by
+      :class:`repro.metrics.billing.BlobPricing`).
     """
 
     shuffles_registered: int = 0
@@ -114,6 +128,12 @@ class ShuffleCounters:
     recovery_wan_bytes: float = 0.0
     recovery_intra_dc_bytes: float = 0.0
     local_bytes: float = 0.0
+    replication_bytes: float = 0.0
+    rereplication_bytes: float = 0.0
+    replica_promotions: int = 0
+    spill_bytes: float = 0.0
+    blob_puts: int = 0
+    blob_gets: int = 0
     # Network bytes attributable to one shuffle id (reduce fetches and
     # pre-merge consolidation; transfer_to flows are keyed by transfer,
     # not shuffle, and appear only in the totals above).
@@ -177,6 +197,19 @@ class ShuffleCounters:
             f"local={self.local_bytes / 1e6:.1f}MB "
             f"recovery={self.recovery_wan_bytes / 1e6:.1f}MB-wan/"
             f"{self.recovery_intra_dc_bytes / 1e6:.1f}MB-intra"
+            + (
+                f" repl={self.replication_bytes / 1e6:.1f}MB"
+                f"(+{self.rereplication_bytes / 1e6:.1f}MB re) "
+                f"promotions={self.replica_promotions} "
+                f"spill={self.spill_bytes / 1e6:.1f}MB"
+                if self.replication_bytes or self.replica_promotions
+                else ""
+            )
+            + (
+                f" blob={self.blob_puts}put/{self.blob_gets}get"
+                if self.blob_puts or self.blob_gets
+                else ""
+            )
         )
 
 
@@ -270,6 +303,10 @@ class RecoveryCounters:
     * ``hosts_lost``          — whole hosts taken down (storage too);
     * ``datacenter_outages``  — datacenter-wide outage events fired;
     * ``merger_losses``       — merger-host-loss events fired;
+    * ``shuffle_worker_losses`` — dedicated shuffle-worker hosts lost
+      (the ``shuffle_worker`` chaos kind);
+    * ``blob_outages``        — object-store regional outage windows
+      opened (the ``blob_outage`` chaos kind);
     * ``wan_degradations``    — WAN-link capacity changes applied
       (each flap counts its degrade and its restore);
     * ``tasks_relaunched``    — running attempts interrupted by an
@@ -287,6 +324,8 @@ class RecoveryCounters:
     hosts_lost: int = 0
     datacenter_outages: int = 0
     merger_losses: int = 0
+    shuffle_worker_losses: int = 0
+    blob_outages: int = 0
     wan_degradations: int = 0
     tasks_relaunched: int = 0
     fetch_failures: int = 0
@@ -308,6 +347,8 @@ class RecoveryCounters:
             f"crashes={self.executor_crashes} hosts_lost={self.hosts_lost} "
             f"outages={self.datacenter_outages} "
             f"merger_losses={self.merger_losses} "
+            f"shuffle_worker_losses={self.shuffle_worker_losses} "
+            f"blob_outages={self.blob_outages} "
             f"wan_events={self.wan_degradations} "
             f"relaunched={self.tasks_relaunched} "
             f"fetch_failures={self.fetch_failures} "

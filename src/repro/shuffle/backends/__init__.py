@@ -15,9 +15,11 @@ from typing import Dict, List, Type
 
 from repro.errors import ConfigurationError
 from repro.shuffle.service import ShuffleBackend
+from repro.shuffle.backends.blob import BlobShuffleBackend
 from repro.shuffle.backends.fetch import FetchShuffleBackend
 from repro.shuffle.backends.pre_merge import PreMergeBackend
 from repro.shuffle.backends.push_aggregate import PushAggregateBackend
+from repro.shuffle.backends.remote import RemoteShuffleBackend
 
 _REGISTRY: Dict[str, Type[ShuffleBackend]] = {}
 
@@ -65,11 +67,15 @@ def create_backend(name: str) -> ShuffleBackend:
 register_backend(FetchShuffleBackend)
 register_backend(PushAggregateBackend)
 register_backend(PreMergeBackend)
+register_backend(RemoteShuffleBackend)
+register_backend(BlobShuffleBackend)
 
 __all__ = [
+    "BlobShuffleBackend",
     "FetchShuffleBackend",
     "PushAggregateBackend",
     "PreMergeBackend",
+    "RemoteShuffleBackend",
     "ShuffleBackend",
     "backend_class",
     "backend_names",

@@ -1,0 +1,402 @@
+"""Remote shuffle service backend: durability instead of lineage.
+
+FuxiShuffle-style (PAPERS.md): after a shuffle's map stage completes,
+every map output is handed off to a dedicated per-datacenter *shuffle
+worker* (:class:`~repro.shuffle.worker_pool.ShuffleWorkerPool`) and
+replicated ``r`` ∈ {1, 2, 3} ways, preferring workers in *other*
+datacenters so a whole-DC outage cannot take every copy.  ``r`` adapts
+to cluster health: the configured base is raised (capped at 3) while
+any WAN circuit breaker is open or any datacenter is blacklist-excluded
+— the LinkHealthMonitor EWMA and BlacklistTracker signals from the
+health layer.
+
+Failure semantics — the point of this backend:
+
+* a shuffle-worker loss promotes a surviving replica to primary
+  *synchronously inside the failure handler*, so the map-output tracker
+  never stays incomplete: reducers keep reading with **zero stage
+  resubmissions**;
+* a background re-replication flow then restores ``r`` (recovery-tagged
+  ``shuffle_replicate`` traffic, drained at the next stage barrier);
+* only when the *last* copy dies does the tracker stay incomplete and
+  the DAG scheduler fall back to lineage recovery, after which
+  ``on_blocks_lost`` re-uploads the recomputed outputs.
+
+Correctness: hand-off and promotion relocate shards without touching
+records, and reads concatenate in global map-index order — reduce input
+stays byte-identical to the fetch baseline (pinned by the equivalence
+suite).  Every flow is accounted at issue with an exact cancel refund,
+so counter==monitor reconciliation holds at every quiescent point.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Set, Tuple
+
+from repro.shuffle.service import ShuffleBackend
+from repro.shuffle.worker_pool import ShuffleWorker, ShuffleWorkerPool
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rdd.dependencies import ShuffleDependency
+    from repro.scheduler.task_runtime import TaskRuntime
+    from repro.shuffle.map_output_tracker import MapStatus
+    from repro.shuffle.stores import ShuffleShard
+
+
+class RemoteShuffleBackend(ShuffleBackend):
+    """Dedicated shuffle workers with adaptive replication."""
+
+    name = "remote"
+    scheme_label = "RemoteShuffle"
+    implicit_transfers = False
+    flow_tags = ("shuffle", "shuffle_upload", "shuffle_replicate",
+                 "transfer_to")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool: ShuffleWorkerPool | None = None
+        # Shuffles whose outputs were handed to the worker pool; a
+        # shuffle uploads at most once (durability then maintains it).
+        self._uploaded: Set[int] = set()
+        # Background re-replication processes still in flight; drained
+        # at the next stage barrier so the backend is quiescent whenever
+        # the scheduler observes it.
+        self._repairs: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ShuffleWorkerPool:
+        if self._pool is None:
+            config = self.context.config.shuffle
+            self._pool = ShuffleWorkerPool(
+                self.context.topology,
+                workers_per_datacenter=config.shuffle_workers_per_datacenter,
+                buffer_bytes=config.shuffle_worker_buffer_bytes,
+            )
+            for datacenter in sorted(self.context.topology.datacenters):
+                self._provision(datacenter)
+        return self._pool
+
+    def _provision(self, datacenter: str) -> None:
+        """Pin ``datacenter``'s workers, preferring blacklist-healthy
+        hosts (any live host beats none when all are suspect)."""
+        live = self.context.workers_in(datacenter)
+        blacklist = self.context.blacklist
+        if blacklist.enabled:
+            healthy = [h for h in live if not blacklist.is_excluded(h)]
+            if healthy:
+                live = healthy
+        if live:
+            self._pool.provision(datacenter, live)
+
+    def _replication_factor(self) -> int:
+        """Base ``remote_replication`` plus one per active health alarm
+        (open WAN breaker into any DC, blacklist-excluded DC), capped to
+        r ∈ [1, 3] — a deterministic function of current health state."""
+        context = self.context
+        factor = context.config.shuffle.remote_replication
+        datacenters = sorted(context.topology.datacenters)
+        if any(
+            context.link_health.datacenter_quarantined(dc)
+            for dc in datacenters
+        ):
+            factor += 1
+        if context.blacklist.enabled and any(
+            context.blacklist.is_datacenter_excluded(dc)
+            for dc in datacenters
+        ):
+            factor += 1
+        return max(1, min(3, factor))
+
+    def shuffle_worker_host(self, datacenter: str) -> str | None:
+        if self._pool is None:
+            return None
+        return self._pool.worker_host(datacenter)
+
+    # ------------------------------------------------------------------
+    # Hand-off: upload + replicate at the map barrier
+    # ------------------------------------------------------------------
+    def prepare_shuffle_input(self, dep: ShuffleDependency, tenant: str = ""):
+        # Stage barrier: finish outstanding background repairs first, so
+        # reads never race a half-made replica and the counters are
+        # reconciled whenever the scheduler proceeds.
+        if self._repairs:
+            pending = [p for p in self._repairs if not p.triggered]
+            self._repairs = []
+            if pending:
+                yield self.context.sim.all_of(pending)
+        if dep.shuffle_id in self._uploaded:
+            return
+        yield from self._upload(dep, recovery=False, tenant=tenant)
+
+    def _upload(self, dep: ShuffleDependency, recovery: bool, tenant: str = ""):
+        shuffle_id = dep.shuffle_id
+        self._uploaded.add(shuffle_id)
+        context = self.context
+        topology = context.topology
+        pool = self._ensure_pool()
+        statuses = context.map_output_tracker.map_statuses(shuffle_id)
+        factor = self._replication_factor()
+
+        # Phase 1: upload each map output to the least-loaded shuffle
+        # worker of its own datacenter (cheap intra-DC flows, like the
+        # pre-merge hop, but onto the dedicated tier).
+        plan: List[Tuple[MapStatus, ShuffleWorker, List[ShuffleShard]]] = []
+        upload_flows = []
+        spilled = 0.0
+        for status in statuses:
+            key = (shuffle_id, status.map_index)
+            if recovery and pool.primary(key) == status.host:
+                continue  # this copy survived; nothing to re-upload
+            worker = pool.assign(topology.datacenter_of(status.host))
+            if worker is None:
+                continue  # no workers left anywhere: stay scattered
+            shards = [
+                context.shuffle_store.get_shard(
+                    shuffle_id, status.map_index, reduce_index
+                )
+                for reduce_index in range(len(status.shard_sizes))
+            ]
+            size = status.total_size
+            spilled += worker.accept(size)
+            if status.host != worker.host and size > 0:
+                upload_flows.append(
+                    context.fabric.transfer(
+                        status.host, worker.host, size,
+                        tag="shuffle_upload", tenant=tenant,
+                    )
+                )
+                self._account_flow(
+                    status.host, worker.host, size,
+                    shuffle_id=shuffle_id, recovery=recovery,
+                )
+            plan.append((status, worker, shards))
+        if upload_flows:
+            yield context.sim.all_of(upload_flows)
+        if spilled > 0:
+            self.counters.spill_bytes += spilled
+            yield context.sim.timeout(context.config.disk.write_time(spilled))
+
+        # Phase 2: replicate each primary to r-1 other workers (other
+        # datacenters first), sourced from the freshly-loaded primary.
+        replica_plan: List[Tuple[int, ShuffleWorker, List[ShuffleShard],
+                                 List[ShuffleWorker]]] = []
+        replica_flows = []
+        for status, worker, shards in plan:
+            targets = pool.replica_targets(worker.host, factor - 1)
+            size = status.total_size
+            for target in targets:
+                spill = target.accept(size)
+                if spill > 0:
+                    self.counters.spill_bytes += spill
+                self.counters.replication_bytes += size
+                if size > 0:
+                    replica_flows.append(
+                        context.fabric.transfer(
+                            worker.host, target.host, size,
+                            tag="shuffle_replicate", tenant=tenant,
+                        )
+                    )
+                    self._account_flow(
+                        worker.host, target.host, size,
+                        shuffle_id=shuffle_id, recovery=recovery,
+                    )
+            replica_plan.append((status.map_index, worker, shards, targets))
+        if replica_flows:
+            yield context.sim.all_of(replica_flows)
+
+        # Relocate metadata/payloads only after every flow landed:
+        # reducers launch after this process returns, so no read can
+        # observe a half-made hand-off.
+        for map_index, worker, shards, targets in replica_plan:
+            key = (shuffle_id, map_index)
+            current = context.map_output_tracker.map_statuses(shuffle_id)
+            status_host = next(
+                (s.host for s in current if s.map_index == map_index), None
+            )
+            if status_host != worker.host:
+                self.register_map_output(
+                    shuffle_id, map_index, worker.host, shards
+                )
+                self.counters.map_outputs_registered -= 1  # relocation
+            pool.record_primary(key, worker.host)
+            for target in targets:
+                pool.record_replica(key, target.host, shards)
+
+    # ------------------------------------------------------------------
+    # Coalesced reduce read (one flow per source worker host)
+    # ------------------------------------------------------------------
+    def shuffle_read(
+        self, runtime: TaskRuntime, dep: ShuffleDependency, reduce_index: int
+    ):
+        """After the hand-off every datacenter exposes at most a few
+        worker hosts, so a reducer opens one coalesced flow per source
+        host.  Records concatenate in map-index order — byte-identical
+        reduce input to the fetch baseline."""
+        context = self.context
+        statuses = context.map_output_tracker.map_statuses(dep.shuffle_id)
+        store = context.shuffle_store
+        self.counters.reduce_reads += 1
+        records: List[Any] = []
+        by_source: Dict[str, float] = {}
+        for status in statuses:
+            shard = store.get_shard(
+                dep.shuffle_id, status.map_index, reduce_index
+            )
+            records.extend(shard.records)
+            if shard.size_bytes > 0:
+                by_source[status.host] = (
+                    by_source.get(status.host, 0.0) + shard.size_bytes
+                )
+        local_bytes = by_source.pop(runtime.host, 0.0)
+        flows = []
+        retry_enabled = context.config.health.flow_retry_enabled
+        for source in sorted(by_source):
+            size = by_source[source]
+            runtime.shuffle_bytes_fetched += size
+            self.counters.blocks_fetched += 1
+            if retry_enabled:
+                flows.append(
+                    context.sim.spawn(
+                        self._fetch_with_retry(runtime, dep, source, size),
+                        name=(
+                            f"fetch-retry:s{dep.shuffle_id}"
+                            f"r{reduce_index}@{source}"
+                        ),
+                    )
+                )
+            else:
+                flows.append(
+                    context.fabric.transfer(
+                        source, runtime.host, size, tag="shuffle",
+                        tenant=runtime.tenant,
+                    )
+                )
+                self._account_flow(
+                    source, runtime.host, size, shuffle_id=dep.shuffle_id,
+                    recovery=runtime.task.recovery,
+                )
+        if local_bytes > 0:
+            yield context.sim.timeout(
+                context.config.disk.read_time(local_bytes)
+            )
+            runtime.bytes_read_local += local_bytes
+            self.counters.note_local_read(local_bytes)
+        if flows:
+            yield context.sim.all_of(flows)
+        return records
+
+    # ------------------------------------------------------------------
+    # Failure handling: promote, then re-replicate in the background
+    # ------------------------------------------------------------------
+    def on_host_failure(self, host: str) -> None:
+        """Called from ``fail_host`` *after* the tracker and store
+        dropped the dead host's entries — promotion below re-registers
+        surviving replicas synchronously, so the tracker is complete
+        again before any other simulation event can observe the gap."""
+        if self._pool is None:
+            return
+        pool = self._pool
+        context = self.context
+        datacenter = context.topology.datacenter_of(host)
+        was_worker = host in {w.host for w in pool.all_workers()}
+        orphaned, degraded = pool.on_worker_lost(host)
+        repair_keys: List[Tuple[int, int]] = []
+        for key in orphaned:
+            survivors = pool.replica_hosts(key)
+            if not survivors:
+                # Last copy died: the tracker stays incomplete and the
+                # next read escalates to lineage recovery.
+                self._uploaded.discard(key[0])
+                continue
+            new_primary = survivors[0]
+            shards = pool.replica_shards(key, new_primary)
+            self.register_map_output(key[0], key[1], new_primary, shards)
+            self.counters.map_outputs_registered -= 1  # promotion
+            self.counters.replica_promotions += 1
+            pool.record_primary(key, new_primary)
+            repair_keys.append(key)
+        repair_keys.extend(degraded)
+        if was_worker:
+            self._provision(datacenter)
+        factor = self._replication_factor()
+        for key in sorted(set(repair_keys)):
+            primary = pool.primary(key)
+            if primary is None:
+                continue
+            missing = factor - pool.copy_count(key)
+            if missing <= 0:
+                continue
+            status = next(
+                (
+                    s
+                    for s in context.map_output_tracker.map_statuses(key[0])
+                    if s.map_index == key[1]
+                ),
+                None,
+            )
+            if status is None:
+                continue
+            shards = [
+                context.shuffle_store.get_shard(key[0], key[1], index)
+                for index in range(len(status.shard_sizes))
+            ]
+            exclude = tuple(pool.replica_hosts(key))
+            for target in pool.replica_targets(primary, missing, exclude):
+                self._repairs.append(
+                    context.sim.spawn(
+                        self._re_replicate(key, primary, target, shards),
+                        name=f"re-replicate:s{key[0]}m{key[1]}@{target.host}",
+                    )
+                )
+
+    def _re_replicate(
+        self,
+        key: Tuple[int, int],
+        src_host: str,
+        target: ShuffleWorker,
+        shards: List[ShuffleShard],
+    ):
+        """Background copy restoring the replication factor (recovery-
+        tagged; accounted at issue with the usual exactness)."""
+        pool = self._pool
+        context = self.context
+        size = sum(shard.size_bytes for shard in shards)
+        if size > 0:
+            flow = context.fabric.transfer(
+                src_host, target.host, size,
+                tag="shuffle_replicate", tenant="",
+            )
+            self._account_flow(
+                src_host, target.host, size, shuffle_id=key[0], recovery=True,
+            )
+            self.counters.replication_bytes += size
+            self.counters.rereplication_bytes += size
+            yield flow
+        # The copy only exists once it fully arrived — and only if both
+        # the target worker and the shuffle are still alive.
+        if pool is None or pool.primary(key) is None:
+            return
+        if target.host not in {w.host for w in pool.all_workers()}:
+            return
+        spill = target.accept(size)
+        if spill > 0:
+            self.counters.spill_bytes += spill
+        pool.record_replica(key, target.host, shards)
+
+    def on_blocks_lost(self, dep: ShuffleDependency, tenant: str = ""):
+        """Lineage fallback (last replica died): the recomputed outputs
+        sit at scattered executor hosts — hand them back to the worker
+        pool, recovery-tagged, before any consumer retries its read."""
+        self._uploaded.discard(dep.shuffle_id)
+        yield from self._upload(dep, recovery=True, tenant=tenant)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def remove_shuffle(self, shuffle_id: int) -> None:
+        super().remove_shuffle(shuffle_id)
+        self._uploaded.discard(shuffle_id)
+        if self._pool is not None:
+            self._pool.drop_shuffle(shuffle_id)

@@ -140,6 +140,17 @@ class ShuffleBackend:
         output onto, if it has such a notion (chaos targeting hook)."""
         return None
 
+    def shuffle_worker_host(self, datacenter: str) -> Optional[str]:
+        """The dedicated shuffle-worker host serving ``datacenter``, if
+        this backend runs a worker pool (``shuffle_worker`` chaos
+        targeting hook; None for lineage-recovered backends)."""
+        return None
+
+    def blob_store(self):
+        """The backend's object store, if it has one (``blob_outage``
+        chaos targeting hook; None for every other backend)."""
+        return None
+
     # ------------------------------------------------------------------
     # Pre-reduce reorganisation
     # ------------------------------------------------------------------
@@ -449,6 +460,12 @@ class ShuffleService:
 
     def merger_host(self, datacenter: str) -> Optional[str]:
         return self.backend.merger_host(datacenter)
+
+    def shuffle_worker_host(self, datacenter: str) -> Optional[str]:
+        return self.backend.shuffle_worker_host(datacenter)
+
+    def blob_store(self):
+        return self.backend.blob_store()
 
     # ------------------------------------------------------------------
     # Reporting

@@ -10,6 +10,7 @@ The namenode is pure metadata; actual record payloads live in
 read genuine data while the simulation charges genuine time.
 """
 
+from repro.storage.blob import BlobObject, BlobStore
 from repro.storage.block import Block, BlockId
 from repro.storage.datanode import DataNode
 from repro.storage.namenode import NameNode
@@ -17,6 +18,8 @@ from repro.storage.disk import DiskModel
 from repro.storage.hdfs import DistributedFileSystem
 
 __all__ = [
+    "BlobObject",
+    "BlobStore",
     "Block",
     "BlockId",
     "DataNode",

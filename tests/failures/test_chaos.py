@@ -38,6 +38,26 @@ def test_parse_degrade_factor_only_defaults_duration():
     assert event.duration == 0.0
 
 
+def test_parse_shuffle_worker_spec():
+    event = ChaosSchedule.parse_event("shuffle_worker:dc-b@4")
+    assert event == ChaosEvent(at=4.0, kind="shuffle_worker", target="dc-b")
+
+
+def test_parse_blob_outage_defaults_duration():
+    from repro.failures.chaos import DEFAULT_BLOB_OUTAGE_DURATION
+
+    event = ChaosSchedule.parse_event("blob_outage:dc-b@5")
+    assert event.kind == "blob_outage"
+    assert event.at == 5.0
+    assert event.duration == DEFAULT_BLOB_OUTAGE_DURATION
+
+
+def test_parse_blob_outage_with_explicit_duration():
+    event = ChaosSchedule.parse_event("blob_outage:dc-b@5+10")
+    assert event.at == 5.0
+    assert event.duration == 10.0
+
+
 @pytest.mark.parametrize(
     "spec",
     [
@@ -59,6 +79,12 @@ def test_parse_degrade_factor_only_defaults_duration():
         "degrade:dc-a->dc-b@5x0.5+inf",  # non-finite duration
         "degrade:dc-a->dc-b@5x0.5+later",  # duration not a number
         "degrade:dc-a->dc-b@5xbogus",  # factor not a number
+        "shuffle_worker:dc-b",  # missing @time
+        "shuffle_worker:dc-b@soon",  # time not a number
+        "blob_outage:dc-b@5+later",  # duration not a number
+        "blob_outage:dc-b@5+-3",  # negative duration
+        "blob_outage:dc-b@5+0",  # zero duration
+        "blob_outage:dc-b@5+inf",  # non-finite duration
     ],
 )
 def test_bad_specs_raise(spec):
@@ -75,6 +101,9 @@ def test_bad_specs_raise(spec):
         ("warp:dc-a-w0@5", "'warp'"),
         ("degrade:dc-a->dc-b@5x3", "3.0"),  # out-of-range factor value
         ("crash:dc-a-w0@inf", "inf"),
+        ("shuffle_worker:dc-b@soon", "'soon'"),
+        ("blob_outage:dc-b@5+later", "'later'"),
+        ("blob_outage:dc-b@5+-3", "-3.0"),  # out-of-range duration value
     ],
 )
 def test_bad_spec_errors_name_the_offending_token(spec, token):
@@ -207,6 +236,98 @@ def test_degrade_scales_link_and_restores_after_duration():
     assert context.recovery.wan_degradations == 1
     context.sim.run(until=7.0)
     assert link.capacity == pytest.approx(base)
+
+
+def test_shuffle_worker_event_falls_back_to_data_heaviest_host():
+    """Backends without a worker pool resolve the target like ``merger``
+    does: the live host storing the most map-output bytes."""
+    from repro.shuffle.stores import ShuffleShard
+
+    context = _chaos_context(
+        ChaosEvent(at=1.0, kind="shuffle_worker", target="dc-b")
+    )
+    context.shuffle_store.put_map_output(
+        0, 0, "dc-b-w1", [ShuffleShard(records=[1], size_bytes=100.0)]
+    )
+    context.sim.run(until=2.0)
+    assert "dc-b-w1" not in context.executors
+    assert "dc-b-w0" in context.executors
+    assert context.recovery.shuffle_worker_losses == 1
+
+
+def test_shuffle_worker_event_kills_the_pool_worker():
+    """With the remote backend the event resolves through the backend's
+    worker pool and takes the dedicated worker, not a data host —
+    surviving replicas keep serving with zero stage resubmissions."""
+    context = _chaos_context(
+        ChaosEvent(at=0.5, kind="shuffle_worker", target="dc-a"),
+        backend="remote",
+        scale_factor=1e5,
+        dfs_replication=2,
+    )
+    records = [(f"k{i % 7}", i) for i in range(40)]
+    context.write_input_file("/in", [records[i::4] for i in range(4)])
+    result = dict(
+        context.text_file("/in")
+        .reduce_by_key(lambda a, b: a + b, num_partitions=8)
+        .collect()
+    )
+    expected: dict = {}
+    for key, value in records:
+        expected[key] = expected.get(key, 0) + value
+    assert result == expected
+    assert context.recovery.shuffle_worker_losses == 1
+    context.sim.run()  # drain background re-replication
+    context.shutdown()
+
+
+def test_shuffle_worker_unknown_datacenter_is_skipped():
+    context = _chaos_context(
+        ChaosEvent(at=1.0, kind="shuffle_worker", target="dc-z")
+    )
+    context.sim.run(until=2.0)
+    assert context.chaos_injector.events_applied == 0
+    record = context.chaos_injector.fired[0]
+    assert not record.applied
+    assert "unknown datacenter" in record.detail
+
+
+def test_blob_outage_opens_store_window():
+    context = _chaos_context(
+        ChaosEvent(at=1.0, kind="blob_outage", target="dc-b", duration=8.0),
+        backend="blob",
+    )
+    context.sim.run(until=2.0)
+    assert context.chaos_injector.events_applied == 1
+    assert context.recovery.blob_outages == 1
+    store = context.shuffle_service.blob_store()
+    assert store.outage_remaining("dc-b", context.sim.now) == pytest.approx(
+        7.0
+    )
+    assert store.outage_remaining("dc-a", context.sim.now) == 0.0
+    context.sim.run(until=10.0)
+    assert store.outage_remaining("dc-b", context.sim.now) == 0.0
+
+
+def test_blob_outage_skipped_for_backends_without_a_store():
+    context = _chaos_context(
+        ChaosEvent(at=1.0, kind="blob_outage", target="dc-b", duration=5.0)
+    )
+    context.sim.run(until=2.0)
+    assert context.chaos_injector.events_applied == 0
+    record = context.chaos_injector.fired[0]
+    assert not record.applied
+    assert "no blob store" in record.detail
+
+
+def test_blob_outage_unknown_datacenter_is_skipped():
+    context = _chaos_context(
+        ChaosEvent(at=1.0, kind="blob_outage", target="dc-z", duration=5.0),
+        backend="blob",
+    )
+    context.sim.run(until=2.0)
+    assert context.chaos_injector.events_applied == 0
+    assert "unknown datacenter" in context.chaos_injector.fired[0].detail
 
 
 def test_crash_relaunches_running_attempts():

@@ -55,9 +55,11 @@ def _result(workload_factory, scheme, seed=0):
     ).action_result
 
 
-def test_backend_schemes_cover_all_three_backends():
+def test_backend_schemes_cover_all_backends():
     covered = {SCHEME_REGISTRY[s].backend for s in BACKEND_SCHEMES}
-    assert covered == {"fetch", "push_aggregate", "pre_merge"}
+    assert covered == {
+        "fetch", "push_aggregate", "pre_merge", "remote", "blob"
+    }
 
 
 @pytest.mark.parametrize(

@@ -40,8 +40,11 @@ def _assert_counters_match_monitor(context) -> None:
     )
     # Per-shuffle attribution covers exactly the shuffle-path flows
     # (transfer_to flows belong to a transfer, not a shuffle id).
+    shuffle_tags = tuple(
+        tag for tag in backend.flow_tags if tag != "transfer_to"
+    )
     assert sum(counters.network_bytes_by_shuffle.values()) == pytest.approx(
-        _tag_total(monitor, ("shuffle", "shuffle_merge")), rel=1e-9, abs=1e-6
+        _tag_total(monitor, shuffle_tags), rel=1e-9, abs=1e-6
     )
 
 

@@ -72,6 +72,45 @@ def test_profile_flag_appends_cprofile_report(capsys):
 
 
 # ----------------------------------------------------------------------
+# chaos specs (timed fault injection)
+# ----------------------------------------------------------------------
+def test_chaos_malformed_spec_names_offending_token():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "sort", "--chaos", "blob_outage:us-east-1@5+later"])
+    assert "'later'" in str(excinfo.value)
+
+
+def test_chaos_unknown_kind_named():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "sort", "--chaos", "warp:us-east-1@5"])
+    assert "'warp'" in str(excinfo.value)
+
+
+def test_chaos_new_kinds_accepted(capsys):
+    code = main([
+        "run", "sort", "--scheme", "remoteshuffle", "--seed", "0",
+        "--chaos", "shuffle_worker:us-west-1@5",
+        "--chaos", "blob_outage:us-east-1@3+4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    # shuffle_worker applies (pool worker lost); blob_outage is skipped
+    # and recorded for a backend without an object store.
+    assert "chaos" in out
+    assert "1/2" in out
+
+
+def test_chaos_blob_outage_applies_on_blob_backend(capsys):
+    code = main([
+        "run", "sort", "--scheme", "blobshuffle", "--seed", "0",
+        "--chaos", "blob_outage:us-east-1@3+4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1/1" in out
+
+
+# ----------------------------------------------------------------------
 # stream subcommand (multi-tenant job streams)
 # ----------------------------------------------------------------------
 def test_stream_command_prints_tenant_table(capsys):
