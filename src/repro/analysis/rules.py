@@ -442,6 +442,27 @@ def _class_has_slots(cls: ast.ClassDef) -> bool:
             target = statement.target
             if isinstance(target, ast.Name) and target.id == "__slots__":
                 return True
+    # @dataclass(slots=True) synthesizes __slots__ at class-creation
+    # time (Python 3.10+); the keyword in the decorator call is the
+    # syntactic evidence.
+    for decorator in cls.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "slots"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
     return False
 
 

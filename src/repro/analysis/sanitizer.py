@@ -35,7 +35,15 @@ import math
 import os
 from contextlib import contextmanager
 from math import fsum
-from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.metrics.tenants import TenantLedger
@@ -186,6 +194,117 @@ class Sanitizer:
     @property
     def total_checks(self) -> int:
         return sum(self.checks.values())
+
+
+# ---------------------------------------------------------------------------
+# Post-run reconciliation oracle (chaos campaign adapter)
+# ---------------------------------------------------------------------------
+
+# Counter-vs-monitor comparisons use the solvers' accuracy bound (the
+# same slack the end-of-run property tests use); ledger-vs-monitor is
+# bit-exact because both sides hold the identical multiset of floats.
+_RECONCILE_REL = 1e-9
+_RECONCILE_ABS = 1e-6
+
+
+def _mismatch(lhs: float, rhs: float) -> bool:
+    return abs(lhs - rhs) > _RECONCILE_REL * max(abs(lhs), abs(rhs)) + _RECONCILE_ABS
+
+
+def reconcile_run(context) -> List[str]:
+    """Cross-check one finished run's three accounting spines.
+
+    The chaos campaign's composite-oracle adapter: given a cluster
+    context whose jobs have completed, verify
+
+    * backend **counters** == traffic **monitor** over the backend's
+      declared flow tags (total, cross-DC, and per-shuffle attribution),
+      within the solver accuracy bound;
+    * tenant **ledger** settled charges == monitor completion records,
+      bit for bit per tenant, for total and WAN bytes.
+
+    Flows still in flight when the run stopped (abandoned attempts whose
+    awaiting process died — a speculative loser's fetch, a relaunched
+    task's half-finished read) are excluded from every comparison: they
+    were charged at issue but the monitor only records completions.
+
+    Returns a list of human-readable violation strings — empty means the
+    run reconciles.  Never raises: the campaign wants every violation,
+    not the first one.
+    """
+    violations: List[str] = []
+    backend = context.shuffle_service.backend
+    counters = backend.counters
+    monitor = context.traffic
+
+    def tag_total(table: Mapping[str, float], tags: Sequence[str]) -> float:
+        return fsum(table.get(tag, 0.0) for tag in tags)
+
+    # Flows still in flight when the run stopped — abandoned attempts,
+    # e.g. a speculative loser whose fetch was orphaned by the job
+    # completing first — were counter-charged in full at issue but never
+    # reached the monitor, which records at completion (or delivered
+    # bytes at cancellation).  Exclude them from the counter side, the
+    # same treatment the ledger comparison below applies by flow id.
+    topology = context.topology
+    in_flight = in_flight_wan = in_flight_shuffle = 0.0
+    for flow in context.fabric.active_flows():
+        if flow.tag not in backend.flow_tags:
+            continue
+        in_flight += flow.size_bytes
+        if topology.datacenter_of(flow.src_host) != topology.datacenter_of(
+            flow.dst_host
+        ):
+            in_flight_wan += flow.size_bytes
+        if flow.tag != "transfer_to":
+            in_flight_shuffle += flow.size_bytes
+
+    total = tag_total(monitor.by_tag, backend.flow_tags)
+    claimed = counters.wan_bytes + counters.intra_dc_bytes - in_flight
+    if _mismatch(claimed, total):
+        violations.append(
+            f"counters: wan+intra {claimed!r} != monitor total {total!r}"
+        )
+    cross = tag_total(monitor.cross_dc_by_tag, backend.flow_tags)
+    claimed_wan = counters.wan_bytes - in_flight_wan
+    if _mismatch(claimed_wan, cross):
+        violations.append(
+            f"counters: wan_bytes {claimed_wan!r} != "
+            f"monitor cross-DC total {cross!r}"
+        )
+    shuffle_tags = tuple(tag for tag in backend.flow_tags if tag != "transfer_to")
+    by_shuffle = fsum(counters.network_bytes_by_shuffle.values()) - in_flight_shuffle
+    shuffle_total = tag_total(monitor.by_tag, shuffle_tags)
+    if _mismatch(by_shuffle, shuffle_total):
+        violations.append(
+            f"counters: per-shuffle attribution {by_shuffle!r} != "
+            f"monitor shuffle-path total {shuffle_total!r}"
+        )
+
+    ledger = context.fabric.tenant_ledger
+    if ledger is not None:
+        active = set(context.fabric.active_flow_ids())
+        settled = ledger.settled_by_tenant(exclude=active)
+        settled_wan = ledger.settled_by_tenant(exclude=active, wan_only=True)
+        recorded = monitor.by_tenant
+        recorded_wan = monitor.cross_dc_by_tenant
+        for tenant in sorted(set(settled) | set(recorded)):
+            lhs = settled.get(tenant, 0.0)
+            rhs = recorded.get(tenant, 0.0)
+            if lhs != rhs:
+                violations.append(
+                    f"tenant {tenant!r}: ledger settled {lhs!r} != "
+                    f"monitor recorded {rhs!r}"
+                )
+        for tenant in sorted(set(settled_wan) | set(recorded_wan)):
+            lhs = settled_wan.get(tenant, 0.0)
+            rhs = recorded_wan.get(tenant, 0.0)
+            if lhs != rhs:
+                violations.append(
+                    f"tenant {tenant!r}: ledger settled WAN {lhs!r} != "
+                    f"monitor recorded WAN {rhs!r}"
+                )
+    return violations
 
 
 # ---------------------------------------------------------------------------

@@ -47,6 +47,48 @@ def _scheme(name: str) -> Scheme:
     raise SystemExit(f"unknown scheme {name!r} (choose from: {choices})")
 
 
+def _expand_chaos_specs(tokens: List[str], cluster) -> List[str]:
+    """Expand ``random:<n>@<seed>`` and ``@artifact.json`` chaos tokens
+    into plain event specs; other tokens pass through untouched.
+
+    ``random:`` draws a seeded schedule from the weighted grammar over
+    ``cluster``'s hosts/DCs/WAN pairs; ``@path`` replays the schedule of
+    a campaign artifact.  Malformed tokens exit naming the token, like
+    the rest of the grammar.
+    """
+    from repro.errors import ConfigurationError
+    from repro.failures.campaign import load_artifact_schedule
+    from repro.failures.grammar import (
+        ChaosUniverse,
+        GrammarConfig,
+        parse_random_token,
+        random_schedule,
+        schedule_to_specs,
+    )
+    from repro.simulation.random_source import RandomSource
+
+    expanded: List[str] = []
+    for token in tokens:
+        try:
+            if token.startswith("random:"):
+                events, seed = parse_random_token(token)
+                schedule = random_schedule(
+                    RandomSource(seed).child("cli:random"),
+                    ChaosUniverse.from_spec(cluster),
+                    GrammarConfig(events=events, window=(1.0, 30.0)),
+                )
+                expanded.extend(schedule_to_specs(schedule))
+            elif token.startswith("@"):
+                expanded.extend(
+                    schedule_to_specs(load_artifact_schedule(token[1:]))
+                )
+            else:
+                expanded.append(token)
+        except ConfigurationError as error:
+            raise SystemExit(str(error)) from None
+    return expanded
+
+
 def _plan(
     seeds: int,
     chaos_specs: Optional[List[str]] = None,
@@ -109,6 +151,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     sanitizer = _maybe_sanitize(args)
     workload = workload_by_name(args.workload)
     scheme = _scheme(args.scheme)
+    if args.chaos:
+        args.chaos = _expand_chaos_specs(args.chaos, ExperimentPlan().cluster)
     health = None
     if args.blacklist or args.flow_retry:
         from repro.config import HealthConfig
@@ -386,6 +430,53 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any(not f.suppressed for f in findings) else 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.failures.campaign import CampaignConfig, run_campaign
+
+    backends: tuple = ()
+    if args.backends:
+        from repro.shuffle.backends import backend_names
+
+        known = tuple(backend_names())
+        backends = tuple(t for t in args.backends.split(",") if t)
+        for backend in backends:
+            if backend not in known:
+                raise SystemExit(
+                    f"--backends: unknown backend {backend!r} "
+                    f"(choose from: {', '.join(known)})"
+                )
+    policies: tuple = ()
+    if args.policies:
+        policies = tuple(t for t in args.policies.split(",") if t)
+    schedules = args.schedules
+    seed = args.seed
+    if args.smoke:
+        # CI preset: fixed seed, bounded budget, full oracle + minimizer.
+        schedules = 200
+        seed = 0
+    kwargs = {}
+    if policies:
+        kwargs["policies"] = policies
+    config = CampaignConfig(
+        seed=seed,
+        schedules=schedules,
+        max_wall_seconds=args.max_wall_seconds,
+        backends=backends,
+        rotate=not args.full_matrix,
+        minimize=not args.no_minimize,
+        artifact_dir=args.artifact_dir,
+        **kwargs,
+    )
+    try:
+        config.validate()
+        report = run_campaign(config, jobs=args.jobs)
+    except ConfigurationError as error:
+        raise SystemExit(str(error)) from None
+    print(report.format_summary())
+    return 1 if report.findings else 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     workload = workload_by_name(args.workload)
     plan = _plan(args.seeds)
@@ -515,9 +606,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="timed fault to inject (repeatable): crash:<host>@<t>, "
         "host:<host>@<t>, outage:<dc>@<t>, merger:<dc>@<t>, "
-        "shuffle_worker:<dc>@<t>, blob_outage:<dc>@<t>[+<duration>], or "
-        "degrade:<src_dc>-><dst_dc>@<t>x<factor>[+<duration>] "
-        "(degrade competes with bandwidth jitter; see DESIGN.md §9)",
+        "shuffle_worker:<dc>@<t>, blob_outage:<dc>@<t>[+<duration>], "
+        "degrade:<src_dc>-><dst_dc>@<t>x<factor>[+<duration>], or "
+        "partition:<src_dc>-><dst_dc>@<t>[+<duration>]; "
+        "random:<n>@<seed> draws n events from the fuzz grammar, "
+        "@artifact.json replays a campaign reproducer (DESIGN.md §15)",
     )
     run.add_argument(
         "--blacklist",
@@ -612,6 +705,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="also list findings silenced by pragmas (with their reasons)",
     )
     lint.set_defaults(func=cmd_lint)
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="chaos campaign: coverage-guided fault fuzzing of the "
+        "backend x policy matrix under invariant oracles (DESIGN.md §15)",
+    )
+    fuzz.add_argument(
+        "--schedules", type=int, default=50,
+        help="schedule budget (default 50)",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument(
+        "--max-wall-seconds", type=float, default=None,
+        help="stop drawing new schedules after this much wall time",
+    )
+    fuzz.add_argument(
+        "--backends", default=None,
+        help="comma-separated backends to fuzz (default: all registered)",
+    )
+    fuzz.add_argument(
+        "--policies", default=None,
+        help="comma-separated policies: baseline, health, speculate "
+        "(default: all three)",
+    )
+    fuzz.add_argument(
+        "--full-matrix", action="store_true",
+        help="run every schedule against every backend x policy column "
+        "(default: rotate one column per schedule)",
+    )
+    fuzz.add_argument(
+        "--no-minimize", action="store_true",
+        help="report raw failing schedules without ddmin minimization",
+    )
+    fuzz.add_argument(
+        "--artifact-dir", default=None, metavar="DIR",
+        help="write a replayable JSON artifact per finding "
+        "(replay with `repro run --chaos @<artifact>`)",
+    )
+    fuzz.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the cell matrix "
+        "(default: $REPRO_JOBS or sequential)",
+    )
+    fuzz.add_argument(
+        "--smoke", action="store_true",
+        help="CI preset: fixed seed 0, 200-schedule budget",
+    )
+    fuzz.set_defaults(func=cmd_fuzz)
 
     compare = commands.add_parser(
         "compare", help="compare the three schemes on one workload"

@@ -55,7 +55,9 @@ class ClusterContext:
         self.config = config if config is not None else SimulationConfig()
         self.config.validate()
 
-        self.sim = Simulator()
+        self.sim = Simulator(
+            wall_deadline_seconds=self.config.max_wall_seconds
+        )
         self.randomness = RandomSource(self.config.seed)
         self.topology = build_topology(spec)
         self.traffic = TrafficMonitor()

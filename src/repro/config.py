@@ -319,6 +319,11 @@ class SimulationConfig:
     # host/outage/merger events want >= 2, or lineage recovery bottoms
     # out at permanently lost input blocks.
     dfs_replication: int = 1
+    # Liveness watchdog: abort the run with LivenessError once this much
+    # *wall-clock* time has elapsed.  None (the default) disables the
+    # watchdog; the chaos campaign arms it so a hung recovery is flagged
+    # instead of deadlocking the suite.
+    max_wall_seconds: Optional[float] = None
 
     def validate(self) -> None:
         if self.cores_per_host < 1:
@@ -327,6 +332,8 @@ class SimulationConfig:
             raise ConfigurationError("scale_factor must be positive")
         if self.dfs_replication < 1:
             raise ConfigurationError("dfs_replication must be >= 1")
+        if self.max_wall_seconds is not None and self.max_wall_seconds <= 0:
+            raise ConfigurationError("max_wall_seconds must be > 0")
         self.shuffle.validate()
         if self.jitter is not None:
             self.jitter.validate()

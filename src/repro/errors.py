@@ -24,6 +24,14 @@ class ProcessDiedError(SimulationError):
     """Raised inside a process that waits on another process which failed."""
 
 
+class LivenessError(SimulationError):
+    """Raised when a simulation exceeds its wall-clock budget.
+
+    The chaos campaign's liveness oracle: a run that blows through
+    ``SimulationConfig.max_wall_seconds`` is flagged as a hung recovery
+    instead of deadlocking the suite."""
+
+
 class NetworkError(ReproError):
     """Base class for network-model errors."""
 

@@ -376,6 +376,48 @@ def run_matrix_parallel(
 # ---------------------------------------------------------------------------
 # Sharded harness: contiguous cell shards + pre-filled dataset caches
 # ---------------------------------------------------------------------------
+def shard_map(
+    items: Sequence[Any],
+    shard_runner: Any,
+    jobs: Optional[int] = None,
+    shards: Optional[int] = None,
+    initializer: Any = None,
+    initargs: Tuple[Any, ...] = (),
+) -> List[Any]:
+    """Map a picklable per-shard function over contiguous slices of
+    ``items`` in a process pool, preserving order.
+
+    The generic core of :func:`run_matrix_sharded`, reused by the chaos
+    campaign (:mod:`repro.failures.campaign`): ``shard_runner`` takes a
+    contiguous sub-sequence of ``items`` and returns a list of results;
+    the flattened output is therefore identical to
+    ``shard_runner(items)`` run sequentially — which is exactly what
+    happens when ``jobs`` <= 1 (or ``None`` with ``REPRO_JOBS`` unset).
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(items) <= 1:
+        return list(shard_runner(items))
+    if shards is None:
+        shards = jobs
+    shards = max(1, min(shards, len(items)))
+    base_size, extra = divmod(len(items), shards)
+    slices: List[Sequence[Any]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base_size + (1 if index < extra else 0)
+        slices.append(items[start:stop])
+        start = stop
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return [
+            result for shard in pool.map(shard_runner, slices) for result in shard
+        ]
+
+
 def _prefill_worker_cache(entries: Dict[Tuple[str, int], List[List[Any]]]) -> None:
     """Pool initializer: seed the worker's dataset cache.
 
@@ -480,21 +522,11 @@ def run_matrix_sharded(
                 key = (workload.name, data_seed)
                 if key not in entries:
                     entries[key] = generated_input(workload, data_seed)
-    if shards is None:
-        shards = jobs
-    shards = max(1, min(shards, len(cells)))
-    base_size, extra = divmod(len(cells), shards)
-    slices: List[List[Tuple[str, Scheme, int, ExperimentPlan]]] = []
-    start = 0
-    for index in range(shards):
-        stop = start + base_size + (1 if index < extra else 0)
-        slices.append(cells[start:stop])
-        start = stop
-    with ProcessPoolExecutor(
-        max_workers=jobs,
+    return shard_map(
+        cells,
+        _run_shard,
+        jobs=jobs,
+        shards=shards,
         initializer=_prefill_worker_cache,
         initargs=(entries,),
-    ) as pool:
-        return [
-            result for shard in pool.map(_run_shard, slices) for result in shard
-        ]
+    )

@@ -30,9 +30,17 @@ sequence:
   ``blob`` backend; skipped-and-recorded elsewhere;
 * ``degrade`` — one WAN link's capacity is multiplied by ``factor``;
   with a ``duration`` the base capacity is restored afterwards (a
-  *flap* is a deep degrade with a short duration).  Note that
-  ``BandwidthJitter`` would overwrite chaos capacities at its next
-  resample — chaos benchmarks run with ``jitter=None``.
+  *flap* is a deep degrade with a short duration).  The factor is a
+  multiplicative overlay on the link's *nominal* capacity, so
+  ``BandwidthJitter`` and chaos compose: a jitter resample moves the
+  nominal capacity and the degrade keeps scaling it — chaos schedules
+  run fine with jitter enabled;
+* ``partition`` — an asymmetric WAN partition: the *directed* link
+  ``src->dst`` drops out of the fabric (capacity pinned to the
+  partition floor) for ``duration`` seconds while the reverse link
+  keeps working.  In-flight flows stall past their health deadline and
+  take the flow-retry / blacklist / re-election paths; the heal
+  restores whatever capacity jitter/degrade currently prescribe.
 
 Events are plain data (time, kind, target), validated up front, fired
 by a :class:`ChaosInjector` process the cluster context spawns at
@@ -43,6 +51,7 @@ terminates.  Compact CLI syntax (``--chaos crash:dc-a-w0@5``)::
     host:<host>@<t>             merger:<dc>@<t>
     shuffle_worker:<dc>@<t>     blob_outage:<dc>@<t>[+<duration>]
     degrade:<src>-><dst>@<t>x<factor>[+<duration>]
+    partition:<src>-><dst>@<t>[+<duration>]
 """
 
 from __future__ import annotations
@@ -51,7 +60,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NoRouteError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.context import ClusterContext
@@ -60,11 +69,17 @@ if TYPE_CHECKING:  # pragma: no cover
 
 KINDS = (
     "crash", "host", "outage", "merger",
-    "shuffle_worker", "blob_outage", "degrade",
+    "shuffle_worker", "blob_outage", "degrade", "partition",
 )
 
 # A blob_outage with no explicit ``+<duration>`` lasts this long.
 DEFAULT_BLOB_OUTAGE_DURATION = 5.0
+
+# A partition with no explicit ``+<duration>`` heals after this long.
+# Partitions are never permanent: a directed link that stays at the
+# partition floor forever would wedge any flow whose final (deadline-
+# free) retry lands on it.
+DEFAULT_PARTITION_DURATION = 30.0
 
 # Link capacities must stay positive; a "down" link is one at this floor.
 MIN_LINK_CAPACITY = 1.0
@@ -113,11 +128,41 @@ class ChaosEvent:
                     "blob_outage duration must be finite and > 0, "
                     f"got {self.duration!r}"
                 )
+        if self.kind == "partition":
+            if "->" not in self.target:
+                raise ConfigurationError(
+                    "partition target must be '<src_dc>-><dst_dc>'"
+                )
+            if not math.isfinite(self.duration) or self.duration <= 0:
+                raise ConfigurationError(
+                    "partition duration must be finite and > 0, "
+                    f"got {self.duration!r}"
+                )
 
     @property
     def link_endpoints(self) -> Tuple[str, str]:
         src, _, dst = self.target.partition("->")
         return src, dst
+
+    def to_spec(self) -> str:
+        """The compact CLI spec that parses back to exactly this event.
+
+        Numbers are emitted with ``repr`` (shortest round-tripping
+        form), so ``ChaosSchedule.parse_event(event.to_spec()) == event``
+        holds bit-for-bit — campaign artifacts lean on this for
+        byte-identical replay.
+        """
+        base = f"{self.kind}:{self.target}@{_format_number(self.at)}"
+        if self.kind == "degrade":
+            spec = f"{base}x{_format_number(self.factor)}"
+            # Duration 0 means permanent; the parser defaults to it, so
+            # omitting the suffix keeps the canonical form stable.
+            if self.duration:
+                spec += f"+{_format_number(self.duration)}"
+            return spec
+        if self.kind in ("blob_outage", "partition"):
+            return f"{base}+{_format_number(self.duration)}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -166,6 +211,11 @@ class ChaosSchedule:
             factor = _parse_number(spec, factor_part)
         if kind == "blob_outage":
             duration = DEFAULT_BLOB_OUTAGE_DURATION
+            if "+" in when:
+                when, _, duration_part = when.partition("+")
+                duration = _parse_number(spec, duration_part)
+        if kind == "partition":
+            duration = DEFAULT_PARTITION_DURATION
             if "+" in when:
                 when, _, duration_part = when.partition("+")
                 duration = _parse_number(spec, duration_part)
@@ -242,6 +292,13 @@ def _parse_number(spec: str, text: str) -> float:
         ) from None
 
 
+def _format_number(value: float) -> str:
+    # repr() is the shortest string that floats back bit-exactly; small
+    # simulated times never reach the 1e16+ range where repr grows a
+    # '+' that would collide with the duration separator.
+    return repr(float(value))
+
+
 @dataclass
 class FiredEvent:
     """Audit record of one applied (or skipped) chaos event."""
@@ -296,7 +353,7 @@ class ChaosInjector:
         handler = getattr(self, f"_apply_{event.kind}")
         try:
             detail = handler(event)
-        except ConfigurationError as error:
+        except (ConfigurationError, NoRouteError) as error:
             self.fired.append(
                 FiredEvent(event, self.context.sim.now, False, str(error))
             )
@@ -433,3 +490,24 @@ class ChaosInjector:
     def _restore_later(self, link: Link, delay: float):
         yield self.context.sim.timeout(delay)
         self.context.fabric.set_link_degrade(link, 1.0)
+
+    def _apply_partition(self, event: ChaosEvent) -> str:
+        context = self.context
+        src, dst = event.link_endpoints
+        link = context.topology.wan_link(src, dst)
+        if link.partitioned:
+            raise ConfigurationError(
+                f"link {link.name} is already partitioned"
+            )
+        context.fabric.set_link_partition(link, True)
+        context.recovery.wan_partitions += 1
+        context.sim.spawn(
+            self._heal_later(link, event.duration),
+            name=f"chaos:heal:{link.name}",
+        )
+        until = context.sim.now + event.duration
+        return f"{link.name} partitioned until t={until:g}"
+
+    def _heal_later(self, link: Link, delay: float):
+        yield self.context.sim.timeout(delay)
+        self.context.fabric.set_link_partition(link, False)

@@ -1,0 +1,182 @@
+"""Delta-debugging for failing chaos schedules (ddmin + value shrinking).
+
+Given a schedule that makes some predicate fail (an oracle violation in
+the campaign), :func:`minimize_schedule` reduces it in two phases:
+
+1. **ddmin over events** — Zeller's classic delta debugging: repeatedly
+   try dropping chunks (complements) of the event list, keeping any
+   subset that still fails, until the result is 1-minimal at the tried
+   granularity;
+2. **value shrinking** — for each surviving event, shrink ``at`` and
+   ``duration`` toward zero (try the floor outright, then halve) while
+   the schedule keeps failing, so the reproducer fires as early and as
+   briefly as the bug allows.
+
+The predicate is called with candidate :class:`ChaosSchedule` objects
+and must return ``True`` when the candidate *still fails*.  Every call
+is counted; the result reports the probe budget spent.  Candidates that
+fail schedule validation (e.g. a partition shrunk to zero duration) are
+never passed to the predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.failures.chaos import ChaosEvent, ChaosSchedule
+
+# Stop halving a value once it drops below this (seconds); the floor
+# candidate itself is tried separately.
+_SHRINK_EPSILON = 1e-3
+
+# Smallest duration a duration-carrying kind may shrink to (their
+# validators require strictly positive durations).
+_MIN_DURATION = 0.001
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """Outcome of one minimization: the reproducer plus its cost."""
+
+    schedule: ChaosSchedule
+    original_events: int
+    probes: int
+
+    @property
+    def events(self) -> int:
+        return len(self.schedule.events)
+
+    @property
+    def events_removed(self) -> int:
+        return self.original_events - self.events
+
+
+class _Prober:
+    """Wraps the failure predicate with validation and a probe counter."""
+
+    def __init__(self, fails: Callable[[ChaosSchedule], bool]) -> None:
+        self._fails = fails
+        self.probes = 0
+
+    def __call__(self, events: Sequence[ChaosEvent]) -> bool:
+        candidate = ChaosSchedule(tuple(events))
+        try:
+            candidate.validate()
+        except ConfigurationError:
+            return False
+        self.probes += 1
+        return bool(self._fails(candidate))
+
+
+def _split(events: Sequence[ChaosEvent], chunks: int) -> List[List[ChaosEvent]]:
+    """Split into ``chunks`` contiguous, non-empty-where-possible parts."""
+    result: List[List[ChaosEvent]] = []
+    size, extra = divmod(len(events), chunks)
+    start = 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < extra else 0)
+        if stop > start:
+            result.append(list(events[start:stop]))
+        start = stop
+    return result
+
+
+def _ddmin(events: List[ChaosEvent], prober: _Prober) -> List[ChaosEvent]:
+    """Classic ddmin: 1-minimal failing subset of ``events``."""
+    granularity = 2
+    while len(events) >= 2:
+        chunks = _split(events, granularity)
+        reduced = False
+        # Try each complement (drop one chunk) in order.
+        for index in range(len(chunks)):
+            complement = [
+                event
+                for position, chunk in enumerate(chunks)
+                if position != index
+                for event in chunk
+            ]
+            if prober(complement):
+                events = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(granularity * 2, len(events))
+    return events
+
+
+def _try_shrink_field(
+    events: List[ChaosEvent],
+    index: int,
+    fieldname: str,
+    floor: float,
+    prober: _Prober,
+) -> List[ChaosEvent]:
+    """Shrink one float field of ``events[index]`` toward ``floor``."""
+    current = getattr(events[index], fieldname)
+    if current <= floor:
+        return events
+
+    def with_value(value: float) -> List[ChaosEvent]:
+        candidate = list(events)
+        candidate[index] = replace(candidate[index], **{fieldname: value})
+        return candidate
+
+    # Greedy: the floor outright, then halve the gap while it still fails.
+    candidate = with_value(floor)
+    if prober(candidate):
+        return candidate
+    best = events
+    value = current
+    while value - floor > _SHRINK_EPSILON:
+        value = floor + (value - floor) / 2.0
+        candidate = with_value(value)
+        if prober(candidate):
+            best = candidate
+            events = candidate
+        else:
+            break
+    return best
+
+
+def minimize_schedule(
+    schedule: ChaosSchedule,
+    fails: Callable[[ChaosSchedule], bool],
+    shrink_values: bool = True,
+) -> MinimizationResult:
+    """Reduce a failing schedule to a minimal failing reproducer.
+
+    ``fails(candidate)`` must return ``True`` while the candidate still
+    triggers the original failure.  The input schedule itself is assumed
+    failing (the campaign only minimizes confirmed violations); if it
+    somehow is not, the original schedule comes back unchanged with one
+    probe spent.
+    """
+    original = list(schedule.events)
+    prober = _Prober(fails)
+    if not prober(original):
+        return MinimizationResult(
+            schedule=schedule, original_events=len(original), probes=prober.probes
+        )
+    events = _ddmin(original, prober)
+    if shrink_values:
+        for index in range(len(events)):
+            events = _try_shrink_field(events, index, "at", 0.0, prober)
+            kind = events[index].kind
+            if kind in ("blob_outage", "partition"):
+                events = _try_shrink_field(
+                    events, index, "duration", _MIN_DURATION, prober
+                )
+            elif kind == "degrade" and events[index].duration > 0:
+                # A degrade's duration may legally reach zero (permanent
+                # degrade) — often a *simpler* reproducer.
+                events = _try_shrink_field(events, index, "duration", 0.0, prober)
+    return MinimizationResult(
+        schedule=ChaosSchedule(tuple(events)),
+        original_events=len(original),
+        probes=prober.probes,
+    )

@@ -309,6 +309,8 @@ class RecoveryCounters:
       opened (the ``blob_outage`` chaos kind);
     * ``wan_degradations``    — WAN-link capacity changes applied
       (each flap counts its degrade and its restore);
+    * ``wan_partitions``      — asymmetric WAN partitions opened (the
+      ``partition`` chaos kind; heals are not counted separately);
     * ``tasks_relaunched``    — running attempts interrupted by an
       executor loss and resubmitted elsewhere;
     * ``fetch_failures``      — task attempts that found boundary input
@@ -327,6 +329,7 @@ class RecoveryCounters:
     shuffle_worker_losses: int = 0
     blob_outages: int = 0
     wan_degradations: int = 0
+    wan_partitions: int = 0
     tasks_relaunched: int = 0
     fetch_failures: int = 0
     stages_resubmitted: int = 0
@@ -350,6 +353,7 @@ class RecoveryCounters:
             f"shuffle_worker_losses={self.shuffle_worker_losses} "
             f"blob_outages={self.blob_outages} "
             f"wan_events={self.wan_degradations} "
+            f"partitions={self.wan_partitions} "
             f"relaunched={self.tasks_relaunched} "
             f"fetch_failures={self.fetch_failures} "
             f"stages_resubmitted={self.stages_resubmitted} "

@@ -364,6 +364,18 @@ class NetworkFabric:
         link.set_degrade_factor(factor)
         self.notify_capacity_change(changed_links=(link,))
 
+    def set_link_partition(self, link: Link, down: bool) -> None:
+        """Partition (or heal) one directed link and re-solve.
+
+        A partitioned link's effective capacity collapses to the
+        partition floor regardless of its nominal capacity or degrade
+        factor; in-flight flows stall until their health deadline fires
+        and the retry machinery re-routes them.  Healing restores the
+        capacity jitter/degrade currently prescribe.
+        """
+        link.set_partitioned(down)
+        self.notify_capacity_change(changed_links=(link,))
+
     def set_capacity_hint(self, link: Link, rate: float) -> None:
         """Clamp the solver's view of ``link`` to ``rate`` bytes/second
         without touching the link itself (chaos and jitter keep owning

@@ -24,6 +24,13 @@ from repro.errors import ConfigurationError, NoRouteError, UnknownHostError
 GBPS = 1_000_000_000 / 8.0  # bytes per second in one gigabit per second
 MBPS = 1_000_000 / 8.0  # bytes per second in one megabit per second
 
+# Effective capacity of a partitioned link, in bytes/second.  The solver
+# cannot represent a zero-capacity link (flows would never drain and the
+# fair-share maths divides by capacity), so a partition pins the link to
+# a floor so small that any real flow misses its health deadline and
+# takes the retry/blacklist path instead.
+PARTITION_CAPACITY_FLOOR = 1.0
+
 
 class Link:
     """A directed link with a (mutable) capacity in bytes/second."""
@@ -34,6 +41,7 @@ class Link:
         "base_capacity",
         "nominal_capacity",
         "degrade_factor",
+        "partitioned",
         "latency",
         "is_wan",
     )
@@ -59,14 +67,21 @@ class Link:
         # each other.
         self.nominal_capacity = float(capacity)
         self.degrade_factor = 1.0
+        self.partitioned = False
         self.latency = float(latency)
         self.is_wan = is_wan
+
+    def _recompute_capacity(self) -> None:
+        if self.partitioned:
+            self.capacity = PARTITION_CAPACITY_FLOOR
+        else:
+            self.capacity = self.nominal_capacity * self.degrade_factor
 
     def set_capacity(self, capacity: float) -> None:
         if capacity <= 0:
             raise ConfigurationError(f"link {self.name}: capacity must be > 0")
         self.nominal_capacity = float(capacity)
-        self.capacity = self.nominal_capacity * self.degrade_factor
+        self._recompute_capacity()
 
     def set_degrade_factor(self, factor: float) -> None:
         """Scale the effective capacity by ``factor`` (chaos degrade).
@@ -79,7 +94,18 @@ class Link:
                 f"link {self.name}: degrade factor must be > 0"
             )
         self.degrade_factor = float(factor)
-        self.capacity = self.nominal_capacity * self.degrade_factor
+        self._recompute_capacity()
+
+    def set_partitioned(self, down: bool) -> None:
+        """Drop (or heal) this directed link out of the fabric.
+
+        While partitioned the effective capacity is pinned to
+        ``PARTITION_CAPACITY_FLOOR`` no matter what jitter or degrade do;
+        both keep updating ``nominal_capacity``/``degrade_factor`` so the
+        heal restores whatever capacity the link would otherwise have.
+        """
+        self.partitioned = bool(down)
+        self._recompute_capacity()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Link {self.name} {self.capacity * 8 / 1e6:.0f} Mbps>"

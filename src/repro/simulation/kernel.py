@@ -30,13 +30,19 @@ TimerHandle` instead of allocating an :class:`Event`.
 from __future__ import annotations
 
 import itertools
+import time
 from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.analysis.sanitizer import get_sanitizer
-from repro.errors import SimulationError
+from repro.errors import LivenessError, SimulationError
 from repro.simulation.event import AllOf, AnyOf, Event, Timeout
 from repro.simulation.timer_wheel import TimerHandle, TimerWheel
+
+# The wall-clock watchdog samples the clock once per this many timer-
+# wheel batch pulls, so the steady-state cost is one integer decrement
+# per clock advance.
+_WALL_CHECK_INTERVAL = 1024
 
 
 class Process(Event):
@@ -99,10 +105,22 @@ class Process(Event):
 class Simulator:
     """Discrete-event simulator: clock, agenda, and process spawner."""
 
-    def __init__(self, timer_granularity: float = 0.05) -> None:
+    def __init__(
+        self,
+        timer_granularity: float = 0.05,
+        wall_deadline_seconds: Optional[float] = None,
+    ) -> None:
         """``timer_granularity`` is the wheel bucket width in simulated
         seconds; entries within one bucket are sorted at drain time, so
-        the width trades bucket count against per-bucket sort size."""
+        the width trades bucket count against per-bucket sort size.
+
+        ``wall_deadline_seconds`` arms the liveness watchdog: a run that
+        keeps the *real* clock busy past the deadline raises
+        :class:`LivenessError` at the next timer-wheel batch pull
+        instead of hanging the caller.  The watchdog observes only the
+        wall clock — it never feeds simulated time, so determinism of
+        non-timed-out runs is untouched.
+        """
         self._now: float = 0.0
         self._ready: deque = deque()
         self._wheel = TimerWheel(timer_granularity)
@@ -112,6 +130,16 @@ class Simulator:
         # Runtime invariant sanitizer (None unless REPRO_SANITIZE /
         # --sanitize): validates clock monotonicity on every batch pull.
         self._sanitizer = get_sanitizer()
+        if wall_deadline_seconds is not None and wall_deadline_seconds <= 0:
+            raise SimulationError(
+                f"wall_deadline_seconds must be > 0, got {wall_deadline_seconds!r}"
+            )
+        self._wall_deadline_seconds = wall_deadline_seconds
+        self._wall_started: Optional[float] = None
+        if wall_deadline_seconds is not None:
+            # repro-lint: allow[DET002] liveness watchdog deadline; never feeds simulated time
+            self._wall_started = time.monotonic()
+        self._wall_countdown = _WALL_CHECK_INTERVAL
 
     # ------------------------------------------------------------------
     # Clock
@@ -194,19 +222,35 @@ class Simulator:
         """Advance the clock to the wheel's next instant and stage every
         entry due then onto the ready deque.  False when nothing is left."""
         batch = self._batch
-        time = self._wheel.pop_batch(batch)
-        if time is None:
+        next_time = self._wheel.pop_batch(batch)
+        if next_time is None:
             return False
         if self._sanitizer is not None:
-            self._sanitizer.check_time(self._now, time)
-        if time < self._now:  # pragma: no cover - defensive
+            self._sanitizer.check_time(self._now, next_time)
+        if next_time < self._now:  # pragma: no cover - defensive
             raise SimulationError(
-                f"time went backwards: {time} < {self._now}"
+                f"time went backwards: {next_time} < {self._now}"
             )
-        self._now = time
+        if self._wall_started is not None:
+            self._wall_countdown -= 1
+            if self._wall_countdown <= 0:
+                self._wall_countdown = _WALL_CHECK_INTERVAL
+                self._check_wall_deadline()
+        self._now = next_time
         self._ready.extend(batch)
         batch.clear()
         return True
+
+    def _check_wall_deadline(self) -> None:
+        # repro-lint: allow[DET002] liveness watchdog deadline; never feeds simulated time
+        elapsed = time.monotonic() - self._wall_started
+        if elapsed > self._wall_deadline_seconds:
+            raise LivenessError(
+                f"simulation exceeded its wall-clock budget "
+                f"({elapsed:.1f}s > {self._wall_deadline_seconds:g}s at "
+                f"simulated t={self._now:g}, "
+                f"{self._processed_events} events delivered)"
+            )
 
     def step(self) -> bool:
         """Deliver the next event.  Returns False if the agenda is empty."""

@@ -181,6 +181,26 @@ def test_perf001_accepts_slots():
     assert "PERF001" not in rules_in(src, module=PLAIN, config=config)
 
 
+def test_perf001_accepts_dataclass_slots_keyword():
+    config = LintConfig(slots_classes=(f"{PLAIN}:Hot",))
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True, slots=True)\n"
+        "class Hot:\n    x: int = 1\n"
+    )
+    assert "PERF001" not in rules_in(src, module=PLAIN, config=config)
+
+
+def test_perf001_rejects_dataclass_without_slots_keyword():
+    config = LintConfig(slots_classes=(f"{PLAIN}:Hot",))
+    src = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class Hot:\n    x: int = 1\n"
+    )
+    assert "PERF001" in rules_in(src, module=PLAIN, config=config)
+
+
 def test_perf001_reports_stale_config_entry():
     config = LintConfig(slots_classes=(f"{PLAIN}:Gone",))
     src = "class Hot:\n    __slots__ = ('x',)\n"

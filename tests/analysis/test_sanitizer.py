@@ -100,6 +100,27 @@ def test_check_ledger_reconciles_settled_charges():
     assert sanitizer.checks["ledger"] == 1
 
 
+def test_reconcile_excludes_flows_still_in_flight_at_run_end():
+    """Campaign finding (seed 0, schedule #98): a speculative loser's
+    fetch stays active when the winning attempt completes the job — the
+    flow was counter-charged at issue but the monitor only records
+    completions.  reconcile_run must exclude still-active flows; a
+    *cancelled* flow whose charge was never refunded is a real leak."""
+    from repro.analysis.sanitizer import reconcile_run
+    from tests.conftest import make_context
+
+    context = make_context()
+    backend = context.shuffle_service.backend
+    flow = context.fabric.transfer("dc-a-w0", "dc-b-w0", 1000.0, tag="shuffle")
+    backend._account_flow("dc-a-w0", "dc-b-w0", 1000.0, shuffle_id=0)
+    assert reconcile_run(context) == []
+    # Cancelling removes the flow from the active set without refunding
+    # the issue-time charge — now it IS an accounting violation.
+    context.fabric.cancel(flow)
+    violations = reconcile_run(context)
+    assert any("wan_bytes" in violation for violation in violations)
+
+
 def test_check_ledger_rejects_mismatched_bytes():
     sanitizer = Sanitizer()
     ledger = TenantLedger()

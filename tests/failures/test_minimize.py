@@ -1,0 +1,175 @@
+"""Schedule minimization: ddmin, value shrinking, the planted-bug self-test."""
+
+from __future__ import annotations
+
+from repro.failures import ChaosEvent, ChaosSchedule, minimize_schedule
+from repro.failures.minimize import _MIN_DURATION
+
+
+def _decoy_events():
+    """Eighteen decoys spanning every kind the minimizer must discard."""
+    decoys = []
+    for index in range(6):
+        decoys.append(
+            ChaosEvent(at=1.0 + index, kind="crash", target=f"dc-a-w{index}")
+        )
+        decoys.append(
+            ChaosEvent(at=2.0 + index, kind="shuffle_worker", target="dc-c")
+        )
+    for index in range(3):
+        decoys.append(
+            ChaosEvent(
+                at=3.0 + index,
+                kind="degrade",
+                target="dc-b->dc-c",
+                factor=0.5,
+                duration=2.0,
+            )
+        )
+        decoys.append(
+            ChaosEvent(
+                at=4.0 + index, kind="blob_outage", target="dc-a", duration=1.5
+            )
+        )
+    assert len(decoys) == 18
+    return decoys
+
+
+TRIGGER_PARTITION = ChaosEvent(
+    at=7.0, kind="partition", target="dc-a->dc-b", duration=4.0
+)
+TRIGGER_CRASH = ChaosEvent(at=11.0, kind="crash", target="dc-b-w0")
+
+
+def _planted_bug(schedule: ChaosSchedule) -> bool:
+    """Fails iff the schedule partitions dc-a->dc-b AND kills dc-b-w0 —
+    a two-event interaction buried in decoys, the shape the campaign
+    minimizer exists to isolate."""
+    has_partition = any(
+        event.kind == "partition" and event.target == "dc-a->dc-b"
+        for event in schedule.events
+    )
+    has_crash = any(
+        event.kind == "crash" and event.target == "dc-b-w0"
+        for event in schedule.events
+    )
+    return has_partition and has_crash
+
+
+def test_planted_bug_shrinks_twenty_events_to_the_two_triggers():
+    """The ISSUE acceptance self-test: a 20-event failing schedule must
+    minimize to exactly its minimal trigger set."""
+    decoys = _decoy_events()
+    events = decoys[:9] + [TRIGGER_PARTITION] + decoys[9:] + [TRIGGER_CRASH]
+    assert len(events) == 20
+    schedule = ChaosSchedule(tuple(events))
+
+    result = minimize_schedule(schedule, _planted_bug)
+
+    assert result.original_events == 20
+    assert result.events == 2
+    assert result.events_removed == 18
+    kinds = sorted(event.kind for event in result.schedule.events)
+    assert kinds == ["crash", "partition"]
+    targets = {event.kind: event.target for event in result.schedule.events}
+    assert targets == {"partition": "dc-a->dc-b", "crash": "dc-b-w0"}
+    assert result.probes > 0
+    # The predicate ignores times, so value shrinking drives every `at`
+    # to zero and the partition's duration to the validation floor.
+    for event in result.schedule.events:
+        assert event.at == 0.0
+    partition = next(
+        event for event in result.schedule.events if event.kind == "partition"
+    )
+    assert partition.duration == _MIN_DURATION
+    # The reproducer still fails, of course.
+    assert _planted_bug(result.schedule)
+
+
+def test_minimized_schedule_round_trips_through_specs():
+    decoys = _decoy_events()
+    schedule = ChaosSchedule(
+        tuple(decoys[:4] + [TRIGGER_PARTITION, TRIGGER_CRASH] + decoys[4:])
+    )
+    result = minimize_schedule(schedule, _planted_bug)
+    specs = [event.to_spec() for event in result.schedule.events]
+    assert ChaosSchedule.from_specs(specs) == result.schedule
+
+
+def test_shrink_values_can_be_disabled():
+    schedule = ChaosSchedule((TRIGGER_PARTITION, TRIGGER_CRASH))
+    result = minimize_schedule(schedule, _planted_bug, shrink_values=False)
+    assert result.events == 2
+    assert {event.at for event in result.schedule.events} == {7.0, 11.0}
+
+
+def test_non_failing_input_returns_unchanged():
+    schedule = ChaosSchedule((TRIGGER_CRASH,))  # missing the partition
+    result = minimize_schedule(schedule, _planted_bug)
+    assert result.schedule == schedule
+    assert result.probes == 1
+    assert result.events_removed == 0
+
+
+def test_single_event_failure_stays_single():
+    schedule = ChaosSchedule((TRIGGER_CRASH,))
+    result = minimize_schedule(
+        schedule, lambda s: any(e.kind == "crash" for e in s.events)
+    )
+    assert result.events == 1
+    assert result.schedule.events[0].kind == "crash"
+    assert result.schedule.events[0].at == 0.0
+
+
+def test_degrade_duration_may_shrink_to_permanent():
+    """A degrade's duration legally reaches zero (permanent degrade) —
+    often the simpler reproducer — unlike partition/blob_outage whose
+    validators require a positive duration."""
+    degrade = ChaosEvent(
+        at=5.0, kind="degrade", target="dc-a->dc-b", factor=0.25, duration=9.0
+    )
+    schedule = ChaosSchedule((degrade,))
+    result = minimize_schedule(
+        schedule,
+        lambda s: any(
+            e.kind == "degrade" and e.factor <= 0.5 for e in s.events
+        ),
+    )
+    assert result.events == 1
+    assert result.schedule.events[0].duration == 0.0
+
+
+def test_invalid_candidates_never_reach_the_predicate():
+    """Shrinking a partition's duration must stop at the validation
+    floor; candidates that fail validation are rejected without a probe."""
+    partition = ChaosEvent(
+        at=1.0, kind="partition", target="dc-a->dc-b", duration=5.0
+    )
+    seen = []
+
+    def fails(candidate: ChaosSchedule) -> bool:
+        seen.append(candidate)
+        candidate.validate()  # would raise if an invalid one slipped in
+        return any(event.kind == "partition" for event in candidate.events)
+
+    result = minimize_schedule(ChaosSchedule((partition,)), fails)
+    assert result.schedule.events[0].duration == _MIN_DURATION
+    assert len(seen) == result.probes
+
+
+def test_order_is_preserved_in_the_reproducer():
+    first = ChaosEvent(at=1.0, kind="crash", target="dc-b-w0")
+    middle = ChaosEvent(at=2.0, kind="host", target="dc-a-w1")
+    last = ChaosEvent(
+        at=3.0, kind="partition", target="dc-a->dc-b", duration=2.0
+    )
+    result = minimize_schedule(
+        ChaosSchedule((first, middle, last)),
+        lambda s: any(e.kind == "crash" for e in s.events)
+        and any(e.kind == "partition" for e in s.events),
+        shrink_values=False,
+    )
+    assert [event.kind for event in result.schedule.events] == [
+        "crash",
+        "partition",
+    ]

@@ -154,3 +154,80 @@ def test_stream_unknown_policy_rejected(capsys):
     with pytest.raises(SystemExit) as excinfo:
         main(["stream", "--policy", "lottery"])
     assert "'lottery'" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# fuzz subcommand and the chaos token expansions it feeds
+# ----------------------------------------------------------------------
+def test_fuzz_command_prints_campaign_summary(capsys):
+    code = main([
+        "fuzz", "--schedules", "5", "--seed", "3",
+        "--backends", "fetch,push_aggregate",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "campaign: seed=3 schedules=5" in out
+    assert "coverage" in out
+
+
+def test_fuzz_unknown_backend_rejected():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fuzz", "--schedules", "2", "--backends", "warp"])
+    assert "'warp'" in str(excinfo.value)
+
+
+def test_fuzz_unknown_policy_rejected():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fuzz", "--schedules", "2", "--policies", "yolo"])
+    assert "'yolo'" in str(excinfo.value)
+
+
+def test_chaos_random_token_expands_into_events(capsys):
+    code = main([
+        "run", "sort", "--scheme", "spark", "--seed", "0",
+        "--chaos", "random:2@5", "--flow-retry",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "chaos" in out
+    assert "2 event(s)" in out
+
+
+def test_chaos_random_malformed_token_named():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "sort", "--chaos", "random:x@1"])
+    assert "'random:x@1'" in str(excinfo.value)
+
+
+def test_chaos_partition_spec_accepted(capsys):
+    code = main([
+        "run", "sort", "--scheme", "aggshuffle", "--seed", "0",
+        "--chaos", "partition:us-east-1->us-west-1@5+10",
+        "--flow-retry",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1/1" in out
+
+
+def test_chaos_artifact_token_replays_schedule(tmp_path, capsys):
+    import json
+
+    artifact = tmp_path / "finding.json"
+    artifact.write_text(json.dumps({
+        "version": 1,
+        "schedule": ["partition:us-east-1->us-west-1@5+10"],
+    }))
+    code = main([
+        "run", "sort", "--scheme", "aggshuffle", "--seed", "0",
+        "--chaos", f"@{artifact}", "--flow-retry",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1/1" in out
+
+
+def test_chaos_artifact_token_missing_file_named():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "sort", "--chaos", "@/no/such/artifact.json"])
+    assert "artifact" in str(excinfo.value)
